@@ -1,0 +1,61 @@
+"""E13 (ablation) -- what the Section-7 optimizations buy.
+
+Compares the plain overlapped GPU-ABiSort against the optimized variant
+(local sort of 8 + fixed bitonic merge of 16) on stream operations, kernel
+instances, and modeled time on the GeForce 6800 -- the motivation for
+Section 7: fewer, fatter stream operations.
+
+Also ablates the two schedules (Appendix A vs Section 5.4) to show why the
+overlapped execution matters on hardware with per-operation overhead.
+"""
+
+from __future__ import annotations
+
+from repro.core.abisort import GPUABiSorter
+from repro.core.optimized import OptimizedGPUABiSorter
+from repro.stream.gpu_model import GEFORCE_6800_ULTRA, estimate_gpu_time_ms
+from repro.stream.mapping2d import ZOrderMapping
+from repro.workloads.generators import paper_workload
+
+N = 1 << 14
+
+
+def profile(sorter) -> dict:
+    sorter.sort(paper_workload(N))
+    machine = sorter.last_machine
+    counters = machine.counters()
+    cost = estimate_gpu_time_ms(machine.ops, GEFORCE_6800_ULTRA, ZOrderMapping())
+    return {
+        "ops": counters.stream_ops,
+        "instances": counters.instances,
+        "modeled_ms": cost.total_ms,
+    }
+
+
+def test_section7_ablation(benchmark):
+    def run():
+        return {
+            "base sequential": profile(GPUABiSorter(schedule="sequential")),
+            "base overlapped": profile(GPUABiSorter(schedule="overlapped")),
+            "optimized": profile(OptimizedGPUABiSorter(schedule="overlapped")),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nablation at n = 2^14 (GeForce 6800 model, Z-order):")
+    for name, r in results.items():
+        print(f"  {name:<16}  ops {r['ops']:>5}  instances {r['instances']:>8}"
+              f"  modeled {r['modeled_ms']:7.2f} ms")
+
+    seq, ovl, opt = (
+        results["base sequential"],
+        results["base overlapped"],
+        results["optimized"],
+    )
+    # The overlapped schedule reduces stream operations (Section 5.4)...
+    assert ovl["ops"] < seq["ops"]
+    # ...and Section 7 reduces both ops and total kernel instances further.
+    assert opt["ops"] < ovl["ops"]
+    assert opt["instances"] < ovl["instances"]
+    # Net modeled-time win of the optimized variant.
+    assert opt["modeled_ms"] < ovl["modeled_ms"]
+    assert opt["modeled_ms"] < seq["modeled_ms"]

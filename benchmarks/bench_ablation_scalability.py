@@ -1,0 +1,77 @@
+"""E14 (ablation) -- scalability in the processor count p.
+
+The paper's closing claim (Sections 1 and 9): GPU-ABiSort scales with the
+number of fragment units up to p = n / log n, so it "profits heavily from
+the trend of increasing number of fragment processor units on GPUs".
+We sweep the unit count of the GeForce 6800 model and check
+
+* modeled time falls with p while compute-bound, then saturates at the
+  memory/overhead floor;
+* the O(n log n / p) work term gives GPU-ABiSort a growing advantage over
+  the O(n log^2 n / p) network as p rises (both scale, the optimal
+  algorithm from a lower base);
+* the theoretical optimality bound p <= n / log n (and n / log^2 n for
+  the single-block-substream variant).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.complexity import max_processors, parallel_time_model
+from repro.baselines.bitonic_network import gpusort_stream
+from repro.core.optimized import OptimizedGPUABiSorter
+from repro.stream.gpu_model import GEFORCE_6800_ULTRA, estimate_gpu_time_ms
+from repro.stream.mapping2d import ZOrderMapping
+from repro.workloads.generators import paper_workload
+
+N = 1 << 14
+UNITS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_scaling_with_fragment_units(benchmark):
+    def run():
+        sorter = OptimizedGPUABiSorter()
+        sorter.sort(paper_workload(N))
+        abi_ops = sorter.last_machine.ops
+        _, machine = gpusort_stream(paper_workload(N))
+        net_ops = machine.ops
+        rows = []
+        for u in UNITS:
+            gpu = GEFORCE_6800_ULTRA.with_units(u)
+            abi = estimate_gpu_time_ms(abi_ops, gpu, ZOrderMapping()).total_ms
+            net = estimate_gpu_time_ms(
+                net_ops, gpu, fixed_read_efficiency=gpu.tiled_read_efficiency
+            ).total_ms
+            rows.append((u, abi, net))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nmodeled time vs fragment units (n = 2^14, 6800-class model):")
+    print("  units   GPU-ABiSort    GPUSort")
+    for u, abi, net in rows:
+        print(f"  {u:>5}   {abi:>9.2f} ms  {net:>7.2f} ms")
+
+    abi_times = [abi for _u, abi, _n in rows]
+    # Monotone non-increasing in p...
+    assert all(a >= b for a, b in zip(abi_times, abi_times[1:]))
+    # ...with real gains while compute-bound...
+    assert abi_times[0] / abi_times[3] > 2.0
+    # ...and saturation at the memory/overhead floor for large p.
+    assert abi_times[-2] / abi_times[-1] < 1.3
+
+
+def test_ideal_model_and_processor_bounds(benchmark):
+    def run():
+        n = 1 << 20
+        return {
+            "speedup_p16": parallel_time_model(n, 1) / parallel_time_model(n, 16),
+            "max_p_multiblock": max_processors(n, True),
+            "max_p_contiguous": max_processors(n, False),
+        }
+
+    out = benchmark(run)
+    assert out["speedup_p16"] == 16.0  # perfect scaling in the ideal model
+    assert out["max_p_multiblock"] == (1 << 20) // 20
+    assert out["max_p_contiguous"] == (1 << 20) // 400
+    print(f"\noptimality bounds at n = 2^20: p <= {out['max_p_multiblock']}"
+          f" (multi-block substreams), p <= {out['max_p_contiguous']}"
+          f" (contiguous substreams)")

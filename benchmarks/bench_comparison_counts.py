@@ -1,0 +1,63 @@
+"""E11 -- the comparison-count optimality claims (Sections 2.1 and 4.1).
+
+* Adaptive bitonic sorting: < 2 n log n comparisons, data independent.
+* One adaptive merge of m values: exactly 2m - log2(m) - 2.
+* Sorting networks: Theta(n log^2 n) exchanges -- asymptotically log n
+  times more work, the gap that makes GPU-ABiSort "optimal" and the
+  networks not.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.complexity import (
+    abisort_comparison_count,
+    comparisons_upper_bound,
+)
+from repro.baselines.bitonic_network import bitonic_exchange_count
+from repro.baselines.odd_even_merge import odd_even_merge_comparator_count
+from repro.core.sequential import SequentialCounters, adaptive_bitonic_sort_sequence
+from repro.workloads.generators import generate_keys
+
+
+def test_counted_comparisons_match_law(benchmark):
+    n = 1 << 10
+    keys = generate_keys("uniform", n, seed=0)
+    seq = [(float(k), i) for i, k in enumerate(keys)]
+
+    def run():
+        counters = SequentialCounters()
+        adaptive_bitonic_sort_sequence(seq, counters)
+        return counters.comparisons
+
+    measured = benchmark(run)
+    assert measured == abisort_comparison_count(n)
+    assert measured < comparisons_upper_bound(n)
+    print(f"\nn = {n}: measured {measured} comparisons; "
+          f"bound 2 n log n = {int(comparisons_upper_bound(n))}")
+
+
+def test_comparison_table_vs_networks(benchmark):
+    def build():
+        rows = []
+        for e in range(8, 21, 4):
+            n = 1 << e
+            rows.append(
+                (
+                    n,
+                    abisort_comparison_count(n),
+                    bitonic_exchange_count(n),
+                    odd_even_merge_comparator_count(n) if e <= 16 else None,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n  n        ABiSort cmp    bitonic net    odd-even net")
+    for n, abi, bit, oem in rows:
+        print(f"  2^{int(math.log2(n)):<3}  {abi:>12}  {bit:>13}  "
+              f"{oem if oem is not None else '-':>12}")
+        assert abi < bit
+        # The ratio approaches (log n)/4 for the bitonic network.
+        assert bit / abi > math.log2(n) / 8

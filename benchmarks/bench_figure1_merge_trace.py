@@ -1,0 +1,38 @@
+"""E1 -- Figure 1: the bitonic merge of 16 values.
+
+Regenerates the figure's five rows (input + four merge stages) and checks
+them against the paper; the benchmark times the trace generation plus the
+adaptive counterpart on the same input (the figure's right-hand panel is
+the block-exchange view the adaptive algorithm realises with pointer
+swaps).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import FIGURE1_INPUT, figure1_merge_trace
+from repro.core.sequential import adaptive_bitonic_merge_sequence
+
+PAPER_ROWS = [
+    [0, 2, 3, 5, 7, 10, 11, 13, 15, 14, 12, 9, 8, 6, 4, 1],
+    [0, 2, 3, 5, 7, 6, 4, 1, 15, 14, 12, 9, 8, 10, 11, 13],
+    [0, 2, 3, 1, 7, 6, 4, 5, 8, 10, 11, 9, 15, 14, 12, 13],
+    [0, 1, 3, 2, 4, 5, 7, 6, 8, 9, 11, 10, 12, 13, 15, 14],
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+]
+
+
+def test_figure1_trace(benchmark):
+    rows = benchmark(figure1_merge_trace)
+    assert rows == PAPER_ROWS
+    print("\nFigure 1 (bitonic merge of 16 values), regenerated:")
+    for row in rows:
+        print("  " + " ".join(f"{v:2d}" for v in row))
+
+
+def test_figure1_adaptive_merge_agrees(benchmark):
+    """The adaptive bitonic merge produces the same final sequence with
+    only O(log n) comparisons per min/max determination."""
+    seq = [(float(v), i) for i, v in enumerate(FIGURE1_INPUT)]
+
+    out = benchmark(adaptive_bitonic_merge_sequence, seq)
+    assert [int(k) for k, _ in out] == PAPER_ROWS[-1]

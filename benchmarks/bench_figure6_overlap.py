@@ -1,0 +1,35 @@
+"""E5 -- Figure 6: the overlapped step schedule (2j - 1 steps per level).
+
+Regenerates the figure's seven steps and verifies the step-count law that
+yields O(log^2 n) stream operations (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import figure6_table, format_figure
+from repro.core.layout import overlapped_schedule, overlapped_step_count
+
+FIGURE6 = [
+    ("0", "0s 0s"),
+    ("0", "0s 0s 11 11"),
+    ("0,1", "10 1s 10 1s 22 22"),
+    ("0,1", "10 1s 10 1s 22 22 22 22 33 33"),
+    ("1,2", "21 20 21 2s 21 20 21 2s 33 33 33 33 33 33"),
+    ("2", "21 20 21 2s 21 20 21 2s 33 33 33 33 33 33 33 33"),
+    ("3", "32 31 32 30 32 31 32 3s 32 31 32 30 32 31 32 3s"),
+]
+
+
+def test_figure6(benchmark):
+    rows = benchmark(figure6_table)
+    assert rows == FIGURE6
+    print("\n" + format_figure(rows, "Figure 6 (overlapped, j = 4, n = 2^5), regenerated:"))
+
+
+def test_step_law(benchmark):
+    def law():
+        return [len(overlapped_schedule(j)) for j in range(1, 21)]
+
+    counts = benchmark(law)
+    assert counts == [overlapped_step_count(j) for j in range(1, 21)]
+    assert counts == [2 * j - 1 for j in range(1, 21)]

@@ -1,0 +1,36 @@
+"""E6 -- Figure 7: the truncated merge schedule of the Section-7.2
+optimization (2j - 5 steps, last four stages replaced by the fixed
+bitonic merge of 16).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import figure7_table, format_figure
+from repro.core.layout import truncated_overlapped_schedule, truncated_step_count
+
+FIGURE7 = [
+    ("0", "0s"),
+    ("0", "0s 11"),
+    ("0,1", "10 1s 22"),
+    ("0,1", "10 1s 22 22 33"),
+    ("0,1", "10 1s 22 22 33 33 33 44"),
+    ("0,1", "10 1s 22 22 33 33 33 44 44 44 55"),
+    ("1", "10 1s 22 22 33 33 33 44 44 44 55 55 55"),
+]
+
+
+def test_figure7(benchmark):
+    rows = benchmark(figure7_table)
+    assert rows == FIGURE7
+    print("\n" + format_figure(
+        rows, "Figure 7 (truncated merge, j = 6, n' = 16), regenerated:"
+    ))
+
+
+def test_truncated_step_law(benchmark):
+    def law():
+        return [len(truncated_overlapped_schedule(j, 4)) for j in range(5, 21)]
+
+    counts = benchmark(law)
+    assert counts == [truncated_step_count(j, 4) for j in range(5, 21)]
+    assert counts == [2 * j - 5 for j in range(5, 21)]

@@ -1,0 +1,56 @@
+"""E17 -- Figures 2 and 3: the kernel-level merge trace.
+
+Figure 2 illustrates the three kernel invocations that execute parallel
+instances of the adaptive min/max determination on bitonic trees of 2^3
+nodes (pq-stream contents, per-instance comparisons, node modifications);
+Figure 3 shows the node-output-stream side (which substream each phase
+writes).  The extracted paper text does not preserve the figures' example
+values, so the regenerated trace uses a seeded workload and asserts the
+*structure* the figures depict:
+
+* a tree of 2^3 nodes needs exactly 3 phases (kernel invocations);
+* phase i's pq input is exactly phase i-1's pq output;
+* every phase performs one comparison per instance;
+* the output substreams are the Table-1 blocks of Figure 3;
+* the merged trees come out sorted with alternating direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.merge_trace import format_merge_trace, trace_level_merge
+from repro.core.layout import phase_block
+
+
+def test_figure2_3_trace(benchmark):
+    trace = benchmark.pedantic(
+        trace_level_merge, kwargs={"num_trees": 4, "seed": 1},
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_merge_trace(trace))
+
+    log_n = 5  # 4 trees of 8 values
+    by_stage: dict[int, list] = {}
+    for pt in trace.phases:
+        by_stage.setdefault(pt.stage, []).append(pt)
+
+    # Stage 0 runs on full 8-node trees: exactly 3 kernel invocations.
+    assert [pt.phase for pt in by_stage[0]] == [0, 1, 2]
+
+    for stage, phases in by_stage.items():
+        for pt in phases:
+            # One comparison per kernel instance (Figure 2's annotations).
+            assert len(pt.comparisons) == len(pt.pq_out)
+            # Output goes to the Table-1 block (Figure 3's substreams).
+            block = phase_block(log_n, 3, stage, pt.phase)
+            assert pt.out_block == (block.start_pair, block.stop_pair)
+        # The pq stream connects consecutive phases (Figure 2's data flow).
+        for prev, cur in zip(phases, phases[1:]):
+            assert cur.pq_in == prev.pq_out
+
+    # The merged output: sorted 8-runs with alternating direction.
+    for t in range(4):
+        run = trace.sorted_keys[t * 8 : (t + 1) * 8]
+        diffs = np.diff(run)
+        assert (diffs >= 0).all() if t % 2 == 0 else (diffs <= 0).all()

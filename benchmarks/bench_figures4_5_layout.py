@@ -1,0 +1,40 @@
+"""E3/E4 -- Figures 4 and 5: output-stream layout, sequential stages.
+
+Regenerates both layout tables (one tree of 2^4 nodes; two trees at
+n = 2^5) exactly as printed in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import figure4_table, figure5_table, format_figure
+
+FIGURE4 = [
+    ("0 0", "0s"),
+    ("0 1", "0s 11"),
+    ("0 2", "0s 11 22"),
+    ("0 3", "0s 11 22 33"),
+    ("1 0", "10 1s 22 33"),
+    ("1 1", "10 1s 22 22 33"),
+    ("1 2", "10 1s 22 22 33 33 33"),
+    ("2 0", "21 20 21 2s 33 33 33"),
+    ("2 1", "21 20 21 2s 33 33 33 33"),
+    ("3 0", "32 31 32 30 32 31 32 3s"),
+]
+
+
+def test_figure4(benchmark):
+    rows = benchmark(figure4_table)
+    assert rows == FIGURE4
+    print("\n" + format_figure(rows, "Figure 4 (j = 4, n = 2^4), regenerated:"))
+
+
+def test_figure5(benchmark):
+    rows = benchmark(figure5_table)
+    assert rows[0] == ("0 0", "0s 0s")
+    assert rows[-1] == (
+        "3 0",
+        "32 31 32 30 32 31 32 3s 32 31 32 30 32 31 32 3s",
+    )
+    # Figure 5 is Figure 4 with every block doubled for the second tree.
+    assert len(rows) == len(FIGURE4)
+    print("\n" + format_figure(rows, "Figure 5 (j = 4, n = 2^5), regenerated:"))

@@ -1,0 +1,56 @@
+"""E16 (extension) -- the hybrid out-of-core pipeline (Section 2.2).
+
+GPUTeraSort-style external sorting with GPU-ABiSort as the sort stage:
+measures the run-formation / merge cost split and checks the pipeline-level
+claims: I/O dominates once the GPU sorts, and the merge performs the
+textbook n log2(k) comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.values import make_values, reference_sort
+from repro.hybrid import ExternalSorter, SimulatedDisk, sort_wide_keys
+from repro.stream.stream import VALUE_DTYPE
+
+N = 1 << 16
+CHUNK = 1 << 13
+
+
+def test_out_of_core_pipeline(benchmark):
+    rng = np.random.default_rng(0)
+    data = make_values(rng.random(N, dtype=np.float32))
+
+    def run():
+        disk = SimulatedDisk(VALUE_DTYPE)
+        disk.write_file("in", data)
+        report = ExternalSorter(chunk_size=CHUNK, merge_buffer=1 << 9).sort_file(
+            disk, "in", "out"
+        )
+        return disk, report
+
+    disk, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    out = disk.read("out", 0, N)
+    assert np.array_equal(out, reference_sort(data))
+
+    k = N // CHUNK
+    print(f"\nout-of-core: {report.summary()}")
+    print(f"  GPU {report.gpu_modeled_ms:.1f} ms vs I/O {report.io_modeled_ms:.1f} ms")
+    assert report.runs == k
+    # Loser-tree merge: ~n log2(k) comparisons (+ O(k log k) build).
+    expected = N * math.log2(k)
+    assert expected * 0.9 < report.merge_comparisons < expected * 1.3
+    # The GGKM05 observation: disk I/O dominates the GPU sorting time.
+    assert report.io_modeled_ms > report.gpu_modeled_ms
+
+
+def test_wide_key_sort(benchmark):
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 1 << 62, 1 << 12, dtype=np.uint64)
+
+    order = benchmark.pedantic(sort_wide_keys, args=(keys,), rounds=1, iterations=1)
+    assert np.array_equal(keys[order], np.sort(keys))
+    print(f"\nwide keys: {keys.shape[0]} x 64-bit sorted via 4 float-digit passes")

@@ -1,0 +1,98 @@
+"""Library-throughput microbenchmarks (not a paper experiment).
+
+Per the "no optimization without measuring" rule, these track the wall-time
+hot spots of the *simulation itself*: the full sorters, the individual
+vectorised kernels, the Morton mapping, and the cache simulator.  They give
+pytest-benchmark statistics a regression baseline -- the numbers are about
+this library's Python performance, not about the modeled 2006 hardware.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+import repro
+from repro.baselines.bitonic_network import bitonic_network_sort
+from repro.baselines.cpu_sort import quicksort
+from repro.core import kernels
+from repro.stream.cache import CacheConfig, TextureCacheSim
+from repro.stream.context import StreamMachine
+from repro.stream.mapping2d import ZOrderMapping, morton_decode, morton_encode
+from repro.stream.stream import VALUE_DTYPE
+from repro.workloads.generators import paper_workload
+
+N = 1 << 13
+
+
+def test_throughput_abisort_optimized(benchmark):
+    values = paper_workload(N)
+    sorter = repro.make_sorter(repro.ABiSortConfig())
+    out = benchmark(sorter.sort, values)
+    assert out.shape == (N,)
+
+
+def test_throughput_abisort_unoptimized(benchmark):
+    values = paper_workload(N)
+    sorter = repro.make_sorter(repro.ABiSortConfig(optimized=False))
+    out = benchmark(sorter.sort, values)
+    assert out.shape == (N,)
+
+
+def test_throughput_bitonic_network(benchmark):
+    values = paper_workload(N)
+    out = benchmark(bitonic_network_sort, values)
+    assert out.shape == (N,)
+
+
+def test_throughput_quicksort(benchmark):
+    values = paper_workload(N)
+    out = benchmark(quicksort, values)
+    assert out.shape == (N,)
+
+
+def test_throughput_local_sort_kernel(benchmark):
+    """The vectorised odd-even transition sort across 2^13 instances."""
+    values = paper_workload(N * 8)
+
+    def run():
+        machine = StreamMachine(distinct_io=False)
+        src = machine.wrap("src", values.copy())
+        dst = machine.alloc("dst", VALUE_DTYPE, N * 8)
+        machine.kernel(
+            "local_sort8", instances=N,
+            body=partial(kernels.local_sortw_body, width=8),
+            inputs={"values": (src.whole(), 8)},
+            consts={"reverse": kernels.reverse_flags(N, 1)},
+            outputs={"sorted": (dst.whole(), 8)},
+        )
+        return dst
+
+    benchmark(run)
+
+
+def test_throughput_morton_roundtrip(benchmark):
+    idx = np.arange(1 << 18, dtype=np.uint64)
+
+    def run():
+        ax, ay = morton_decode(idx)
+        return morton_encode(ax, ay)
+
+    out = benchmark(run)
+    assert np.array_equal(out, idx)
+
+
+def test_throughput_cache_simulator(benchmark):
+    mapping = ZOrderMapping()
+    rng = np.random.default_rng(0)
+    trace = rng.integers(0, 1 << 16, 1 << 16)
+    ax, ay = mapping.to_2d(trace)
+
+    def run():
+        sim = TextureCacheSim(CacheConfig())
+        sim.access(np.asarray(ax), np.asarray(ay))
+        return sim.misses
+
+    misses = benchmark(run)
+    assert misses > 0

@@ -1,0 +1,75 @@
+"""E21 (extension) -- the full Section-2.2 network family on one substrate.
+
+The paper's related work names three GPU sorting-network lineages: bitonic
+(Purcell, Kipfer, GPUSort), odd-even merge (Kipfer/Westermann) and the
+periodic balanced network (Govindaraju et al. [GRM05]).  All three are
+implemented here on the same stream machine, so their pass counts, moved
+bytes, and modeled times can be compared directly against GPU-ABiSort --
+the quantitative form of the paper's observation that *every* prior GPU
+sorter does Theta(n log^2 n) work.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+import repro
+from repro.baselines.bitonic_network import gpusort_stream
+from repro.baselines.odd_even_merge import odd_even_merge_stream
+from repro.baselines.periodic_balanced import periodic_balanced_stream
+from repro.core.values import reference_sort
+from repro.stream.gpu_model import GEFORCE_7800_GTX, estimate_gpu_time_ms
+from repro.stream.mapping2d import ZOrderMapping
+from repro.workloads.generators import paper_workload
+
+N = 1 << 12
+
+
+def test_network_family_comparison(benchmark):
+    values = paper_workload(N)
+    expected = reference_sort(values)
+
+    def run():
+        rows = {}
+        for name, stream_sorter in (
+            ("bitonic (GPUSort)", gpusort_stream),
+            ("odd-even merge", odd_even_merge_stream),
+            ("periodic balanced", periodic_balanced_stream),
+        ):
+            out, machine = stream_sorter(values)
+            assert np.array_equal(out, expected), name
+            counters = machine.counters()
+            cost = estimate_gpu_time_ms(
+                machine.ops, GEFORCE_7800_GTX,
+                fixed_read_efficiency=GEFORCE_7800_GTX.tiled_read_efficiency,
+            )
+            rows[name] = (counters.stream_ops, counters.total_bytes, cost.total_ms)
+        sorter = repro.make_sorter(repro.ABiSortConfig())
+        out = sorter.sort(values)
+        assert np.array_equal(out, expected)
+        counters = sorter.last_machine.counters()
+        cost = estimate_gpu_time_ms(
+            sorter.last_machine.ops, GEFORCE_7800_GTX, ZOrderMapping()
+        )
+        rows["GPU-ABiSort"] = (counters.stream_ops, counters.total_bytes, cost.total_ms)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    log_n = int(math.log2(N))
+    print(f"\nall sorters on the same substrate (n = 2^{log_n}, 7800 model):")
+    print(f"  {'sorter':<20} {'stream ops':>10} {'MB moved':>9} {'modeled ms':>11}")
+    for name, (ops, nbytes, ms) in rows.items():
+        print(f"  {name:<20} {ops:>10} {nbytes / 1e6:>9.1f} {ms:>11.2f}")
+
+    # Every network runs log n (log n + 1) / 2 passes (PBSN: log^2 n) of n
+    # elements; their byte traffic is Theta(n log^2 n) and similar within
+    # a factor ~2 of each other.
+    net_bytes = [rows[k][1] for k in rows if k != "GPU-ABiSort"]
+    assert max(net_bytes) < 3 * min(net_bytes)
+    # GPU-ABiSort moves asymptotically less data; visible already at 2^12.
+    assert rows["GPU-ABiSort"][1] < min(net_bytes)
+    # The periodic balanced network runs the most passes (log^2 n).
+    assert rows["periodic balanced"][0] == log_n * log_n
+    assert rows["bitonic (GPUSort)"][0] == log_n * (log_n + 1) // 2

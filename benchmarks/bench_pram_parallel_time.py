@@ -1,0 +1,81 @@
+"""E19 -- the Section-2.1 PRAM parallel-time claims.
+
+"Adaptive bitonic sorting can run in O(log^2 n) parallel time on a PRAC
+with O(n / log n) processors."  The exact EREW-PRAM round counts follow
+from the overlapped work schedule (see repro.analysis.pram); this
+benchmark sweeps n and p and asserts:
+
+* rounds at p = n / log n fit a quadratic in log n (and not a linear one);
+* work (p = 1) is Theta(n log n);
+* near-linear speedup holds out to ~n / log n processors.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.complexity import fit_residual
+from repro.analysis.pram import pram_rounds, pram_speedup, pram_work
+
+SIZES = tuple(1 << e for e in range(6, 15, 2))
+
+
+def test_log2_parallel_time_with_n_over_log_n_processors(benchmark):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            log_n = n.bit_length() - 1
+            p = max(1, n // log_n)
+            rows.append((n, p, pram_rounds(n, p)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nEREW-PRAM rounds with p = n / log n processors:")
+    for n, p, rounds in rows:
+        print(f"  n = 2^{int(math.log2(n)):<3} p = {p:>5}   rounds = {rounds}")
+    ns = [n for n, _p, _r in rows]
+    counts = [r for _n, _p, r in rows]
+    # ceil() effects add noise at small n; a quadratic in log n explains
+    # the counts far better than a linear law, and the growth ratio
+    # rounds / log^2 n stays bounded (O(log^2 n)).
+    assert fit_residual(ns, counts, 2) < 0.5 * fit_residual(ns, counts, 1)
+    ratios = [
+        r / (math.log2(n) ** 2) for n, _p, r in rows
+    ]
+    assert max(ratios) < 3.0
+    assert max(ratios) / min(ratios) < 1.5
+
+
+def test_work_is_optimal(benchmark):
+    def sweep():
+        return [(n, pram_work(n)) for n in SIZES]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\ntotal PRAM work (phase-steps):")
+    for n, work in rows:
+        ratio = work / (n * math.log2(n))
+        print(f"  n = 2^{int(math.log2(n)):<3} work = {work:>9}  "
+              f"/ (n log n) = {ratio:.3f}")
+        # Theta(n log n) with a small constant (< 2, cf. the < 2 n log n
+        # comparison bound; each phase-step is one comparison + O(1) moves).
+        assert 0.5 < ratio < 2.0
+
+
+def test_speedup_linear_until_n_over_log_n(benchmark):
+    n = 1 << 12
+
+    def sweep():
+        return [(p, pram_speedup(n, p)) for p in (1, 4, 16, 64, 256, 1024)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nspeedup at n = 2^12:")
+    for p, s in rows:
+        print(f"  p = {p:>5}: speedup {s:8.1f}  efficiency {s / p:.2f}")
+    # Linear regime: ~full efficiency up to n / log n ~ 341.
+    for p, s in rows:
+        if p <= 256:
+            assert s / p > 0.5, (p, s)
+    # And saturation beyond: p = 1024 gains less than 4x over p = 256.
+    s256 = dict(rows)[256]
+    s1024 = dict(rows)[1024]
+    assert s1024 / s256 < 3.0

@@ -1,0 +1,51 @@
+"""E15 -- the Section-2.1 sequential-competitiveness claim.
+
+"Even with a small number of processors it is efficient: In its original
+implementation, the sequential version of the algorithm was maximally 2.5
+times slower than quick sort (for sequence lengths up to 2^19)."
+
+We compare *counted operations* (comparisons + data movements) of the
+sequential adaptive bitonic sort against the instrumented quicksort over a
+size sweep and check the ratio stays below 2.5.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.cpu_sort import CPUSortCounters, quicksort
+from repro.core.sequential import SequentialCounters, adaptive_bitonic_sort_sequence
+from repro.workloads.generators import generate_keys, paper_workload
+
+SIZES = tuple(1 << e for e in range(8, 15, 2))
+
+
+def ratio_table():
+    rows = []
+    for n in SIZES:
+        keys = generate_keys("uniform", n, seed=0)
+        abs_counters = SequentialCounters()
+        adaptive_bitonic_sort_sequence(
+            [(float(k), i) for i, k in enumerate(keys)], abs_counters
+        )
+        abs_ops = (
+            abs_counters.comparisons
+            + abs_counters.value_swaps
+            + abs_counters.pointer_swaps
+        )
+        qs_counters = CPUSortCounters()
+        quicksort(paper_workload(n, seed=0), qs_counters)
+        rows.append((n, abs_ops, qs_counters.total_ops, abs_ops / qs_counters.total_ops))
+    return rows
+
+
+def test_sequential_abs_within_2_5x_of_quicksort(benchmark):
+    rows = benchmark.pedantic(ratio_table, rounds=1, iterations=1)
+    print("\nsequential adaptive bitonic sort vs quicksort (counted ops):")
+    print("      n     ABS ops      quicksort    ratio")
+    for n, abs_ops, qs_ops, ratio in rows:
+        print(f"  2^{int(math.log2(n)):<3} {abs_ops:>10}  {qs_ops:>12}  {ratio:6.2f}")
+        assert ratio < 2.5, f"paper claims <= 2.5x, measured {ratio:.2f} at n={n}"
+    # And the ratio does not blow up with n (both are Theta(n log n)).
+    ratios = [r for *_x, r in rows]
+    assert max(ratios) / min(ratios) < 1.5

@@ -1,0 +1,67 @@
+"""E10 -- the stream-operation complexity claims (Sections 5.3, 5.4, 7.2).
+
+Measures kernel-launch counts of the three program variants over a size
+sweep and verifies the growth orders:
+
+* Appendix-A sequential program: Theta(log^3 n) (exact cubic in log n),
+* overlapped program: Theta(log^2 n) (exact quadratic),
+* per-level step counts: (j^2+j)/2 phases vs 2j - 1 steps vs 2j - 5
+  truncated steps.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.complexity import fit_residual
+from repro.core.abisort import GPUABiSorter
+from repro.core.optimized import OptimizedGPUABiSorter
+from repro.workloads.generators import paper_workload
+
+SIZES = tuple(1 << e for e in range(4, 12))
+
+
+def count_phase_ops(sorter_cls, schedule: str, sizes=SIZES, **kwargs):
+    counts = []
+    for n in sizes:
+        sorter = sorter_cls(schedule=schedule, gpu_semantics=False, **kwargs)
+        sorter.sort(paper_workload(n))
+        counts.append(
+            sum(
+                1
+                for op in sorter.last_machine.ops
+                if op.kind == "kernel"
+            )
+        )
+    return counts
+
+
+def test_sequential_is_cubic_in_log_n(benchmark):
+    counts = benchmark.pedantic(
+        count_phase_ops, args=(GPUABiSorter, "sequential"), rounds=1, iterations=1
+    )
+    print("\nkernel launches, sequential schedule:", dict(zip(SIZES, counts)))
+    assert fit_residual(SIZES, counts, 3) < 1e-6
+    assert fit_residual(SIZES, counts, 2) > 0.003
+
+
+def test_overlapped_is_quadratic_in_log_n(benchmark):
+    counts = benchmark.pedantic(
+        count_phase_ops, args=(GPUABiSorter, "overlapped"), rounds=1, iterations=1
+    )
+    print("\nkernel launches, overlapped schedule:", dict(zip(SIZES, counts)))
+    assert fit_residual(SIZES, counts, 2) < 1e-6
+    assert fit_residual(SIZES, counts, 1) > 0.01
+
+
+def test_optimized_is_quadratic_with_smaller_constant(benchmark):
+    sizes = tuple(1 << e for e in range(6, 12))
+    opt = benchmark.pedantic(
+        count_phase_ops,
+        args=(OptimizedGPUABiSorter, "overlapped"),
+        kwargs={"sizes": sizes},
+        rounds=1, iterations=1,
+    )
+    base = count_phase_ops(GPUABiSorter, "overlapped", sizes=sizes)
+    print("\nkernel launches, optimized vs base:",
+          list(zip(sizes, opt, base)))
+    assert all(o < b for o, b in zip(opt, base))
+    assert fit_residual(sizes, opt, 2) < 0.02

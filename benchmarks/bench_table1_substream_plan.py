@@ -1,0 +1,54 @@
+"""E2 -- Table 1: the substream (memory block) plan.
+
+Regenerates the table's three formula rows for a representative level and
+verifies the structural invariants the rest of the system depends on
+(power-of-two lengths, alignment, workspace fit); benchmarks the plan
+generation for a full sort.
+"""
+
+from __future__ import annotations
+
+from repro.core.layout import (
+    num_phases,
+    overlapped_schedule,
+    phase_block,
+    validate_no_overlap_within_step,
+)
+
+
+def full_plan(log_n: int):
+    blocks = []
+    for j in range(1, log_n + 1):
+        for k in range(j):
+            for i in range(num_phases(j, k)):
+                blocks.append(phase_block(log_n, j, k, i))
+    return blocks
+
+
+def test_table1_formulas(benchmark):
+    blocks = benchmark(full_plan, 16)
+    for b in blocks:
+        assert b.length_pairs & (b.length_pairs - 1) == 0
+        assert b.start_pair % b.length_pairs == 0
+        assert b.stop_pair <= 1 << 15  # n/2 pairs
+
+    print("\nTable 1 (node-pair units, stage k of level j, scale = 2^(log n - j)):")
+    print("  phase 0 : [0, 2^k * scale)")
+    print("  phase 1 : [2^k * scale, 2^(k+1) * scale)")
+    print("  phase i : [(2^(k+i-1) + 2^k) * scale, (2^(k+i-1) + 2^(k+1)) * scale)")
+    print("  example level j=4, log n=4:")
+    for k in range(4):
+        row = [
+            f"phase {i}: [{phase_block(4, 4, k, i).start_pair},"
+            f" {phase_block(4, 4, k, i).stop_pair})"
+            for i in range(num_phases(4, k))
+        ]
+        print(f"    stage {k}: " + "  ".join(row))
+
+
+def test_plan_is_conflict_free(benchmark):
+    def check():
+        for j in range(1, 13):
+            validate_no_overlap_within_step(12, j, overlapped_schedule(j))
+
+    benchmark(check)

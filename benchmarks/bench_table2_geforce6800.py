@@ -1,0 +1,56 @@
+"""E7 -- Table 2 (and its plot): GeForce 6800 Ultra / AGP system.
+
+Runs CPU quicksort (instrumented), GPUSort (bitonic network on the stream
+machine) and GPU-ABiSort with both 1D-2D mappings, converts counted work to
+modeled milliseconds, prints the table, and asserts the paper's shape:
+
+* GPU-ABiSort (b, Z-order) < GPU-ABiSort (a, row-wise) < GPUSort,
+* GPU-ABiSort (b) beats the CPU by roughly 2x at the largest size,
+* even the row-wise variant beats GPUSort (the Section-8 observation).
+
+Default sizes are reduced for benchmark-pass runtime; set
+``REPRO_FULL_TABLES=1`` for the paper's 2^15 .. 2^20.
+"""
+
+from __future__ import annotations
+
+from conftest import table_sizes
+
+from repro.analysis.timing import format_timing_table, table2_rows
+
+PAPER_TABLE2 = """paper Table 2 (GeForce 6800, ms):
+      n     CPU sort   GPUSort  ABiSort(a,row)  ABiSort(b,z)
+  32768      12 - 16        13              11             8
+  65536      27 - 35        29              21            16
+ 131072      62 - 77        63              45            31
+ 262144    126 - 160       139              95            64
+ 524288    270 - 342       302             208           133
+1048576    530 - 716       658             479           279"""
+
+
+def test_table2(benchmark):
+    sizes = table_sizes()
+    rows = benchmark.pedantic(
+        table2_rows, args=(sizes,), rounds=1, iterations=1
+    )
+    print("\n" + format_timing_table(rows, "Table 2 (modeled, GeForce 6800 Ultra / AGP):"))
+    print(PAPER_TABLE2)
+    from repro.analysis.plots import timing_plot
+
+    print()
+    print(timing_plot(rows, "time vs n (GeForce 6800 system, modeled)"))
+
+    big = rows[-1]
+    z = big.abisort_ms["z-order"]
+    r = big.abisort_ms["row-wise"]
+    # Shape assertions (DESIGN.md E7).
+    assert z < r < big.gpusort_ms, "z < row < GPUSort must hold"
+    cpu_mid = 0.5 * (big.cpu_lo_ms + big.cpu_hi_ms)
+    assert 1.5 < cpu_mid / z < 3.5, f"CPU/ABiSort-z speedup {cpu_mid / z:.2f}"
+    assert 1.2 < r / z < 2.2, f"row/z ratio {r / z:.2f} (paper ~1.7)"
+    assert 1.5 < big.gpusort_ms / z < 3.5, (
+        f"GPUSort/z ratio {big.gpusort_ms / z:.2f} (paper ~2.4)"
+    )
+    # Monotone growth of the advantage over GPUSort with n.
+    ratios = [row.gpusort_ms / row.abisort_ms["z-order"] for row in rows]
+    assert ratios[-1] >= ratios[0]

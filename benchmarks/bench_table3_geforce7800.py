@@ -1,0 +1,51 @@
+"""E8 -- Table 3 (and its plot): GeForce 7800 GTX / PCIe system.
+
+Same harness as E7 on the newer system.  Shape assertions: GPU-ABiSort
+beats the CPU by ~3x at the top size, GPUSort wins at small n, the
+crossover falls in between and GPU-ABiSort's advantage grows with n
+("as expected this speed-up is increasing with the sequence length n").
+"""
+
+from __future__ import annotations
+
+from conftest import table_sizes
+
+from repro.analysis.timing import format_timing_table, table3_rows
+
+PAPER_TABLE3 = """paper Table 3 (GeForce 7800 GTX, ms):
+      n     CPU sort   GPUSort  GPU-ABiSort
+  32768       9 - 11         4            5
+  65536      19 - 24         8            8
+ 131072      46 - 52        18           16
+ 262144      98 - 109       38           31
+ 524288     203 - 226       80           65
+1048576     418 - 477      173          135"""
+
+
+def test_table3(benchmark):
+    sizes = table_sizes()
+    rows = benchmark.pedantic(
+        table3_rows, args=(sizes,), rounds=1, iterations=1
+    )
+    print("\n" + format_timing_table(rows, "Table 3 (modeled, GeForce 7800 GTX / PCIe):"))
+    print(PAPER_TABLE3)
+    from repro.analysis.plots import timing_plot
+
+    print()
+    print(timing_plot(rows, "time vs n (GeForce 7800 system, modeled)"))
+
+    big = rows[-1]
+    z = big.abisort_ms["z-order"]
+    cpu_mid = 0.5 * (big.cpu_lo_ms + big.cpu_hi_ms)
+    assert 2.0 < cpu_mid / z < 4.5, f"CPU/ABiSort speedup {cpu_mid / z:.2f} (paper ~3.3)"
+    if big.n >= 1 << 18:
+        # The crossover vs GPUSort falls near 2^17 in the paper's Table 3
+        # (in our model it lands between 2^17 and 2^18).
+        assert big.gpusort_ms / z >= 1.0, "ABiSort must win from ~2^18 on"
+    elif big.n >= 1 << 17:
+        assert big.gpusort_ms / z >= 0.85, "near-crossover at 2^17 expected"
+    # GPUSort is competitive or better at the smallest size; the advantage
+    # of GPU-ABiSort grows with n (the crossover of the paper's plot).
+    ratios = [row.gpusort_ms / row.abisort_ms["z-order"] for row in rows]
+    assert ratios == sorted(ratios) or ratios[-1] > ratios[0]
+    assert ratios[0] < ratios[-1]

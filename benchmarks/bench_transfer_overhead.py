@@ -1,0 +1,53 @@
+"""E9 -- Section 8's transfer-overhead measurement.
+
+"The transfer of 2^20 value/pointer pairs from CPU to GPU and back takes
+in total roughly 100 ms on our AGP bus PC and roughly 20 ms on our PCI
+Express bus PC."  Regenerated from the bus models and compared with the
+sorting times, reproducing the paper's conclusion that the overhead is
+"usually negligible compared to the achieved sorting speed-up".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream.gpu_model import AGP_SYSTEM, PCIE_SYSTEM, transfer_round_trip_ms
+
+
+def test_transfer_round_trip(benchmark):
+    def compute():
+        return {
+            "AGP": transfer_round_trip_ms(1 << 20, AGP_SYSTEM),
+            "PCIe": transfer_round_trip_ms(1 << 20, PCIE_SYSTEM),
+        }
+
+    result = benchmark(compute)
+    print("\nCPU<->GPU round trip for 2^20 value/pointer pairs (modeled):")
+    print(f"  AGP  : {result['AGP']:.1f} ms   (paper: ~100 ms)")
+    print(f"  PCIe : {result['PCIe']:.1f} ms   (paper: ~20 ms)")
+    assert result["AGP"] == pytest.approx(100.0, rel=0.05)
+    assert result["PCIe"] == pytest.approx(20.0, rel=0.05)
+    assert result["AGP"] / result["PCIe"] == pytest.approx(5.0, rel=0.05)
+
+
+def test_transfer_negligible_vs_cpu_speedup(benchmark):
+    """Even paying the transfer, GPU-ABiSort beats the CPU at 2^17+
+    (the Section-8 argument for CPU-side applications)."""
+    from repro.analysis.timing import abisort_modeled_ms, cpu_range_ms
+    from repro.stream.gpu_model import GEFORCE_7800_GTX
+    from repro.stream.mapping2d import ZOrderMapping
+
+    n = 1 << 17
+
+    def compute():
+        sort_ms = abisort_modeled_ms(n, GEFORCE_7800_GTX, ZOrderMapping())
+        transfer_ms = transfer_round_trip_ms(n, PCIE_SYSTEM)
+        cpu_lo, _ = cpu_range_ms(n, PCIE_SYSTEM, seeds=(0,))
+        return sort_ms, transfer_ms, cpu_lo
+
+    sort_ms, transfer_ms, cpu_lo = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    print(f"\nn = 2^17 on the PCIe system: sort {sort_ms:.1f} ms + "
+          f"transfer {transfer_ms:.1f} ms vs CPU {cpu_lo:.1f} ms")
+    assert sort_ms + transfer_ms < cpu_lo

@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md) and *prints* the regenerated rows, so a
+``pytest benchmarks/ --benchmark-only -s`` run reproduces the evaluation
+section on the terminal.
+
+By default the timing tables run at reduced sizes (2^12 .. 2^16) to keep a
+benchmark pass under a few minutes; set ``REPRO_FULL_TABLES=1`` to run the
+paper's exact 2^15 .. 2^20 range.
+"""
+
+from __future__ import annotations
+
+import os
+
+TABLE_SIZES_FAST = tuple(1 << e for e in range(13, 18))
+TABLE_SIZES_FULL = tuple(1 << e for e in range(15, 21))
+
+
+def table_sizes() -> tuple[int, ...]:
+    if os.environ.get("REPRO_FULL_TABLES") == "1":
+        return TABLE_SIZES_FULL
+    return TABLE_SIZES_FAST

@@ -1,0 +1,108 @@
+"""Scalability study: GPU-ABiSort across GPU generations and unit counts.
+
+Run:  python examples/scalability_study.py
+
+Reproduces the paper's forward-looking claim (Sections 1 and 9): because
+the algorithm is time optimal for up to n / log n processors, it "profits
+heavily from the trend of increasing number of fragment processor units",
+so its advantage over O(n log^2 n / p) sorting networks grows with both n
+and p.  We sweep the fragment-unit count of the 7800-class model and print
+the modeled sort times plus the network comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.complexity import max_processors
+from repro.baselines.bitonic_network import gpusort_stream
+from repro.stream.gpu_model import GEFORCE_7800_GTX, estimate_gpu_time_ms
+from repro.stream.mapping2d import ZOrderMapping
+from repro.workloads.generators import paper_workload
+
+
+def main() -> None:
+    # Past the crossover (~2^17 in Table 3) the optimal algorithm wins and
+    # its advantage grows with n; at small n the network's simplicity wins
+    # -- both regimes are shown.
+    print("modeled sort time vs fragment units (7800-class, Z-order mapping)\n")
+    for e in (14, 18):
+        n = 1 << e
+        values = paper_workload(n)
+        sorter = repro.make_sorter(repro.ABiSortConfig())
+        sorter.sort(values)
+        abi_ops = sorter.last_machine.ops
+        _, net_machine = gpusort_stream(values)
+        net_ops = net_machine.ops
+
+        print(f"  n = 2^{e}:")
+        print("    units   GPU-ABiSort     GPUSort    ABiSort advantage")
+        for units in (4, 8, 16, 24, 48):
+            gpu = GEFORCE_7800_GTX.with_units(units)
+            abi = estimate_gpu_time_ms(abi_ops, gpu, ZOrderMapping()).total_ms
+            net = estimate_gpu_time_ms(
+                net_ops, gpu, fixed_read_efficiency=gpu.tiled_read_efficiency
+            ).total_ms
+            print(f"    {units:>5}   {abi:>8.2f} ms   {net:>7.2f} ms"
+                  f"    {net/abi:>6.2f}x")
+        print()
+
+    # Scaling units alone eventually leaves GPU-ABiSort gather-bandwidth
+    # bound.  Real GPU generations scale memory bandwidth alongside the
+    # units (6800 -> 7800: 16 -> 24 pipes and 35 -> 54 GB/s), which is the
+    # regime the paper's scaling claim lives in:
+    from dataclasses import replace
+
+    n = 1 << 18
+    values = paper_workload(n)
+    sorter = repro.make_sorter(repro.ABiSortConfig())
+    sorter.sort(values)
+    abi_ops = sorter.last_machine.ops
+    _, net_machine = gpusort_stream(values)
+    net_ops = net_machine.ops
+    print("  scaling units AND bandwidth together (future GPU generations),")
+    print("  n = 2^18:")
+    print("    scale   GPU-ABiSort     GPUSort    ABiSort advantage")
+    for scale in (1, 2, 4, 8):
+        gpu = replace(
+            GEFORCE_7800_GTX.with_units(24 * scale),
+            mem_bandwidth_gb_s=GEFORCE_7800_GTX.mem_bandwidth_gb_s * scale,
+        )
+        abi = estimate_gpu_time_ms(abi_ops, gpu, ZOrderMapping()).total_ms
+        net = estimate_gpu_time_ms(
+            net_ops, gpu, fixed_read_efficiency=gpu.tiled_read_efficiency
+        ).total_ms
+        print(f"    {scale:>4}x   {abi:>8.2f} ms   {net:>7.2f} ms"
+              f"    {net/abi:>6.2f}x")
+    print()
+    print("  reading the sweeps: the optimal algorithm's advantage grows")
+    print("  with n (compare the 16-unit column at 2^14 vs 2^18), while at")
+    print("  a FIXED n aggressive hardware scaling runs into the per-")
+    print("  stream-operation overhead floor -- which is exactly why the")
+    print("  paper works so hard to reduce the number of stream operations")
+    print("  (Section 3.1, the O(log^2 n) schedule, and the Section-7")
+    print("  optimizations).")
+    print()
+
+    print("\ntheoretical optimality limits (Section 1):")
+    for e in (15, 20, 24):
+        n_ = 1 << e
+        print(f"  n = 2^{e}: optimal up to p = {max_processors(n_, True):>7}"
+              f" units (multi-block substreams), p = "
+              f"{max_processors(n_, False):>6} (contiguous only)")
+
+    print("\nwork comparison (comparisons / exchanges performed):")
+    from repro.analysis.complexity import abisort_comparison_count
+    from repro.baselines.bitonic_network import bitonic_exchange_count
+
+    for e in (15, 20, 24):
+        n_ = 1 << e
+        abi_c = abisort_comparison_count(n_)
+        net_c = bitonic_exchange_count(n_)
+        print(f"  n = 2^{e}: ABiSort {abi_c:>12,}   network {net_c:>13,}"
+              f"   ratio {net_c/abi_c:4.1f}x")
+
+
+if __name__ == "__main__":
+    main()

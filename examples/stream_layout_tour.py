@@ -1,0 +1,67 @@
+"""A tour of the memory layout and schedules -- the paper's Figures 1, 4-7.
+
+Run:  python examples/stream_layout_tour.py
+
+Prints the regenerated figures with commentary, then demonstrates the
+Z-order mapping propositions of Section 6.2.2 on live numbers.  Useful as
+a study companion to the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import (
+    figure1_merge_trace,
+    figure4_table,
+    figure5_table,
+    figure6_table,
+    figure7_table,
+    format_figure,
+)
+from repro.stream.cache import CacheConfig, block_read_efficiency
+from repro.stream.mapping2d import RowWiseMapping, ZOrderMapping, morton_decode
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Figure 1: bitonic merge of 16 values (min-half left, max-half right)")
+    for depth, row in enumerate(figure1_merge_trace()):
+        label = "input " if depth == 0 else f"stride {16 >> depth:>2}"
+        print(f"  {label}:  " + " ".join(f"{v:2d}" for v in row))
+
+    print("\n" + "=" * 72)
+    print("The output-stream layout: 'tree level of node pair at memory location'")
+    print("(phase 0 writes (root, spare) value pairs; phases i>0 write the")
+    print(" modified node pairs of tree level k+i into the Table-1 blocks)\n")
+    print(format_figure(figure4_table(), "Figure 4 - one tree of 2^4, stage by stage:"))
+    print()
+    print(format_figure(figure5_table(), "Figure 5 - two trees (n = 2^5):"))
+    print()
+    print(format_figure(figure6_table(),
+                        "Figure 6 - same, stages overlapped (2j-1 = 7 steps):"))
+    print()
+    print(format_figure(figure7_table(),
+                        "Figure 7 - merge of 2^6 truncated for the fixed 16-merge:"))
+
+    print("\n" + "=" * 72)
+    print("Z-order mapping propositions (Section 6.2.2), demonstrated:")
+    for a in (5, 12, 100):
+        ax, ay = morton_decode(a)
+        bx, by = morton_decode(2 * a)
+        print(f"  a={a:>3} -> ({ax},{ay});  2a={2*a:>3} -> ({bx},{by})"
+              f"   [= (2*ay, ax)]")
+    for l in (16, 32, 64):
+        lx, ly = morton_decode(l - 1)
+        print(f"  block of {l:>2} -> {int(lx)+1} x {int(ly)+1} rectangle"
+              f" (square or 2:1)")
+
+    print("\nwhy it matters: read efficiency of a 64-element block")
+    cfg = CacheConfig()
+    for mapping in (RowWiseMapping(2048), ZOrderMapping()):
+        eff = block_read_efficiency(mapping, [(1024, 1088)], cfg)
+        print(f"  {mapping.name:>9}: {eff:.3f} of peak bandwidth")
+
+
+if __name__ == "__main__":
+    main()

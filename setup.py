@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on environments without the ``wheel``
+package (offline machines with older setuptools).
+"""
+
+from setuptools import setup
+
+setup()

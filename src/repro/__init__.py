@@ -1,0 +1,66 @@
+"""GPU-ABiSort reproduction: optimal parallel sorting on stream architectures.
+
+A full reimplementation of
+
+    Alexander Gress and Gabriel Zachmann,
+    "GPU-ABiSort: Optimal Parallel Sorting on Stream Architectures",
+    IPDPS 2006 (extended version: TU Clausthal IfI technical report
+    IfI-06-11),
+
+on a software-simulated stream machine.  See README.md for a tour,
+DESIGN.md for the system inventory and per-experiment index, and
+EXPERIMENTS.md for the paper-vs-measured record.
+
+Quick start::
+
+    import numpy as np
+    import repro
+
+    rng = np.random.default_rng(7)
+    values = repro.make_values(rng.random(2**14, dtype=np.float32))
+    out = repro.abisort(values)
+"""
+
+from repro.errors import (
+    KernelError,
+    LayoutError,
+    ModelError,
+    ReproError,
+    SortInputError,
+    StreamError,
+    SubstreamError,
+)
+from repro.stream.stream import NODE_DTYPE, PQ_DTYPE, VALUE_DTYPE, make_values
+from repro.core.api import (
+    ABiSortConfig,
+    abisort,
+    abisort_any_length,
+    make_sorter,
+    sort_key_value,
+)
+from repro.core.abisort import GPUABiSorter
+from repro.core.optimized import OptimizedGPUABiSorter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "StreamError",
+    "SubstreamError",
+    "KernelError",
+    "LayoutError",
+    "SortInputError",
+    "ModelError",
+    "VALUE_DTYPE",
+    "NODE_DTYPE",
+    "PQ_DTYPE",
+    "make_values",
+    "ABiSortConfig",
+    "abisort",
+    "abisort_any_length",
+    "make_sorter",
+    "sort_key_value",
+    "GPUABiSorter",
+    "OptimizedGPUABiSorter",
+    "__version__",
+]

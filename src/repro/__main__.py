@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``sort``      sort a generated workload, report counters and modeled times
+``figures``   regenerate the paper's Figures 1 and 4-7 as text
+``table2``    regenerate Table 2 (GeForce 6800 / AGP) with its plot
+``table3``    regenerate Table 3 (GeForce 7800 / PCIe) with its plot
+``ops``       stream-operation counts of the three program variants
+
+Examples::
+
+    python -m repro sort --n 16384 --dist uniform
+    python -m repro figures 6
+    python -m repro table2 --sizes 4096 16384 65536
+    python -m repro ops --n 4096
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+import repro
+from repro.analysis import figures as fig
+from repro.analysis.plots import timing_plot
+from repro.analysis.timing import (
+    format_timing_table,
+    table2_rows,
+    table3_rows,
+)
+from repro.workloads.generators import DISTRIBUTIONS, generate_keys
+
+
+def cmd_sort(args: argparse.Namespace) -> int:
+    """``sort``: run GPU-ABiSort on a generated workload."""
+    keys = generate_keys(args.dist, args.n, seed=args.seed)
+    values = repro.make_values(keys)
+    cfg = repro.ABiSortConfig(
+        schedule=args.schedule, optimized=not args.no_optimized
+    )
+    sorter = repro.make_sorter(cfg)
+    out = sorter.sort(values)
+    counters = sorter.last_machine.counters()
+    print(f"sorted {args.n} pairs ({args.dist}, seed {args.seed}); "
+          f"first keys: {out['key'][:4]}")
+    print(f"stream ops: {counters.stream_ops}  kernel instances: "
+          f"{counters.instances}  bytes moved: {counters.total_bytes / 1e6:.1f} MB")
+    from repro.stream.gpu_model import (
+        GEFORCE_6800_ULTRA, GEFORCE_7800_GTX, estimate_gpu_time_ms,
+    )
+    from repro.stream.mapping2d import ZOrderMapping
+
+    for gpu in (GEFORCE_6800_ULTRA, GEFORCE_7800_GTX):
+        cost = estimate_gpu_time_ms(sorter.last_machine.ops, gpu, ZOrderMapping())
+        print(f"modeled on {gpu.name}: {cost.total_ms:.2f} ms "
+              f"({cost.bound}-bound)")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """``figures``: print the regenerated paper figures."""
+    which = args.which
+    if which in ("1", "all"):
+        print("Figure 1: bitonic merge of 16 values")
+        for row in fig.figure1_merge_trace():
+            print("  " + " ".join(f"{v:2d}" for v in row))
+        print()
+    tables = {
+        "4": (fig.figure4_table, "Figure 4 (j = 4, n = 2^4)"),
+        "5": (fig.figure5_table, "Figure 5 (j = 4, n = 2^5)"),
+        "6": (fig.figure6_table, "Figure 6 (overlapped steps)"),
+        "7": (fig.figure7_table, "Figure 7 (truncated merge, j = 6)"),
+    }
+    for key, (builder, title) in tables.items():
+        if which in (key, "all"):
+            print(fig.format_figure(builder(), title))
+            print()
+    return 0
+
+
+def _sizes(args: argparse.Namespace) -> tuple[int, ...]:
+    if args.sizes:
+        return tuple(args.sizes)
+    return tuple(1 << e for e in range(12, 17))
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    """``table2``: Table 2 with its plot."""
+    rows = table2_rows(_sizes(args))
+    print(format_timing_table(rows, "Table 2 (modeled, GeForce 6800 Ultra / AGP)"))
+    print()
+    print(timing_plot(rows, "time vs n (GeForce 6800 system)"))
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    """``table3``: Table 3 with its plot."""
+    rows = table3_rows(_sizes(args))
+    print(format_timing_table(rows, "Table 3 (modeled, GeForce 7800 GTX / PCIe)"))
+    print()
+    print(timing_plot(rows, "time vs n (GeForce 7800 system)"))
+    return 0
+
+
+def cmd_ops(args: argparse.Namespace) -> int:
+    """``ops``: stream-operation counts of the three variants."""
+    values = repro.make_values(generate_keys("uniform", args.n, seed=0))
+    print(f"stream operations for n = {args.n}:")
+    for label, cfg in [
+        ("Appendix A (sequential phases)", repro.ABiSortConfig("sequential", optimized=False)),
+        ("Section 5.4 (overlapped)      ", repro.ABiSortConfig("overlapped", optimized=False)),
+        ("Section 7  (optimized)        ", repro.ABiSortConfig("overlapped", optimized=True)),
+    ]:
+        sorter = repro.make_sorter(cfg)
+        sorter.sort(values)
+        c = sorter.last_machine.counters()
+        print(f"  {label}: {c.stream_ops:5d} ops "
+              f"({c.kernel_ops} kernels + {c.copy_ops} copies)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """A quick reproduction checklist across the paper's claims."""
+    import math
+
+    from repro.analysis.complexity import (
+        abisort_comparison_count,
+        comparisons_upper_bound,
+    )
+    from repro.analysis.pram import pram_rounds
+    from repro.analysis.timing import table2_rows, table3_rows
+    from repro.core.sequential import (
+        SequentialCounters,
+        adaptive_bitonic_sort_sequence,
+    )
+    from repro.stream.gpu_model import (
+        AGP_SYSTEM,
+        PCIE_SYSTEM,
+        transfer_round_trip_ms,
+    )
+
+    checks: list[tuple[str, bool]] = []
+
+    def check(label: str, ok: bool) -> None:
+        checks.append((label, bool(ok)))
+
+    # Figures regenerate exactly.
+    check("Figure 1 rows match the paper",
+          fig.figure1_merge_trace()[-1] == sorted(fig.FIGURE1_INPUT))
+    check("Figure 4 table matches the paper",
+          fig.figure4_table()[-1] == ("3 0", "32 31 32 30 32 31 32 3s"))
+    check("Figure 6 runs in 2j-1 = 7 steps", len(fig.figure6_table()) == 7)
+    check("Figure 7 runs in 2j-5 = 7 steps", len(fig.figure7_table()) == 7)
+
+    # Comparison laws.
+    n = 1 << 10
+    counters = SequentialCounters()
+    keys = generate_keys("uniform", n, seed=0)
+    adaptive_bitonic_sort_sequence(
+        [(float(k), i) for i, k in enumerate(keys)], counters
+    )
+    check("comparisons match the closed form",
+          counters.comparisons == abisort_comparison_count(n))
+    check("comparisons < 2 n log n",
+          counters.comparisons < comparisons_upper_bound(n))
+
+    # Sorting correctness across variants.
+    values = repro.make_values(generate_keys("uniform", 1 << 10, seed=1))
+    outs = [
+        repro.abisort(values, repro.ABiSortConfig(schedule=s, optimized=o))
+        for s in ("sequential", "overlapped") for o in (False, True)
+    ]
+    check("all four variants agree",
+          all(np.array_equal(outs[0], o) for o in outs[1:]))
+
+    # Timing-table shapes at the smallest paper size (2^15; below it the
+    # contenders are within noise of each other, as in the paper).
+    t2 = table2_rows(sizes=(1 << 15,))[0]
+    check("Table 2 ordering: z < row < GPUSort",
+          t2.abisort_ms["z-order"] < t2.abisort_ms["row-wise"] < t2.gpusort_ms)
+    t3a = table3_rows(sizes=(1 << 13,))[0]
+    t3b = table3_rows(sizes=(1 << 16,))[0]
+    check("Table 3 crossover trend (ABiSort gains with n)",
+          t3b.gpusort_ms / t3b.abisort_ms["z-order"]
+          > t3a.gpusort_ms / t3a.abisort_ms["z-order"])
+
+    # Transfer and PRAM claims.
+    check("AGP round trip ~100 ms",
+          abs(transfer_round_trip_ms(1 << 20, AGP_SYSTEM) - 100) < 5)
+    check("PCIe round trip ~20 ms",
+          abs(transfer_round_trip_ms(1 << 20, PCIE_SYSTEM) - 20) < 1)
+    rounds = pram_rounds(1 << 12, (1 << 12) // 12)
+    check("PRAM rounds O(log^2 n) at p = n/log n",
+          rounds < 3 * 12 * 12)
+
+    width = max(len(label) for label, _ in checks)
+    print("reproduction checklist:")
+    for label, ok in checks:
+        print(f"  [{'PASS' if ok else 'FAIL'}] {label:<{width}}")
+    failed = sum(1 for _l, ok in checks if not ok)
+    print(f"{len(checks) - failed}/{len(checks)} checks passed")
+    return 1 if failed else 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``profile``: per-level cost breakdown of one sort."""
+    from repro.analysis.profile import format_profile, profile_run
+    from repro.stream.gpu_model import GEFORCE_6800_ULTRA, GEFORCE_7800_GTX
+
+    gpu = GEFORCE_6800_ULTRA if args.gpu == "6800" else GEFORCE_7800_GTX
+    sorter = repro.make_sorter(repro.ABiSortConfig())
+    sorter.sort(repro.make_values(generate_keys("uniform", args.n, seed=0)))
+    print(format_profile(profile_run(sorter.last_machine, gpu)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="GPU-ABiSort reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sort = sub.add_parser("sort", help="sort a generated workload")
+    p_sort.add_argument("--n", type=int, default=1 << 14)
+    p_sort.add_argument("--dist", choices=sorted(DISTRIBUTIONS), default="uniform")
+    p_sort.add_argument("--seed", type=int, default=0)
+    p_sort.add_argument("--schedule", choices=("overlapped", "sequential"),
+                        default="overlapped")
+    p_sort.add_argument("--no-optimized", action="store_true",
+                        help="disable the Section-7 optimizations")
+    p_sort.set_defaults(func=cmd_sort)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument("which", nargs="?", default="all",
+                       choices=("1", "4", "5", "6", "7", "all"))
+    p_fig.set_defaults(func=cmd_figures)
+
+    for name, func in (("table2", cmd_table2), ("table3", cmd_table3)):
+        p = sub.add_parser(name, help=f"regenerate {name} with its plot")
+        p.add_argument("--sizes", type=int, nargs="*", default=None,
+                       help="sequence lengths (default 2^12..2^16)")
+        p.set_defaults(func=func)
+
+    p_ops = sub.add_parser("ops", help="stream-op counts of the variants")
+    p_ops.add_argument("--n", type=int, default=1 << 12)
+    p_ops.set_defaults(func=cmd_ops)
+
+    p_prof = sub.add_parser("profile", help="per-level cost profile of a sort")
+    p_prof.add_argument("--n", type=int, default=1 << 14)
+    p_prof.add_argument("--gpu", choices=("6800", "7800"), default="7800")
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_rep = sub.add_parser("report", help="quick reproduction checklist")
+    p_rep.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

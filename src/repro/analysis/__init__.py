@@ -1,0 +1,70 @@
+"""Analysis and reproduction harnesses.
+
+* :mod:`repro.analysis.complexity` -- operation-count laws: the < 2 n log n
+  comparison bound, network exchange counts, stream-operation counting and
+  growth-order fits, and the scalability model in the processor count p.
+* :mod:`repro.analysis.figures` -- regenerates Figure 1 (bitonic merge
+  trace) and the layout tables of Figures 4, 5, 6 and 7 as text.
+* :mod:`repro.analysis.timing` -- regenerates Tables 2 and 3 (and their
+  plots' data series) by running every sorter on the stream machine /
+  instrumented CPU path and applying the hardware cost models.
+"""
+
+from repro.analysis.complexity import (
+    abisort_comparison_count,
+    comparisons_upper_bound,
+    fit_log_growth,
+    max_processors,
+    merge_comparison_count,
+)
+from repro.analysis.figures import (
+    figure1_merge_trace,
+    figure4_table,
+    figure5_table,
+    figure6_table,
+    figure7_table,
+    render_layout_table,
+)
+from repro.analysis.timing import (
+    TimingRow,
+    abisort_modeled_ms,
+    cpu_range_ms,
+    format_timing_table,
+    gpusort_modeled_ms,
+    table2_rows,
+    table3_rows,
+)
+from repro.analysis.merge_trace import format_merge_trace, trace_level_merge
+from repro.analysis.plots import ascii_plot, timing_plot
+from repro.analysis.pram import pram_rounds, pram_speedup, pram_work
+from repro.analysis.profile import format_profile, profile_run
+
+__all__ = [
+    "abisort_comparison_count",
+    "comparisons_upper_bound",
+    "fit_log_growth",
+    "max_processors",
+    "merge_comparison_count",
+    "figure1_merge_trace",
+    "figure4_table",
+    "figure5_table",
+    "figure6_table",
+    "figure7_table",
+    "render_layout_table",
+    "TimingRow",
+    "abisort_modeled_ms",
+    "cpu_range_ms",
+    "format_timing_table",
+    "gpusort_modeled_ms",
+    "table2_rows",
+    "table3_rows",
+    "format_merge_trace",
+    "trace_level_merge",
+    "ascii_plot",
+    "timing_plot",
+    "pram_rounds",
+    "pram_speedup",
+    "pram_work",
+    "format_profile",
+    "profile_run",
+]

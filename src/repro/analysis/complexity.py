@@ -1,0 +1,142 @@
+"""Operation-count laws and complexity verification.
+
+The paper's complexity claims, each tied to a function here and asserted in
+``tests/analysis/test_complexity.py`` and the E10/E11 benchmarks:
+
+* adaptive bitonic sorting makes "less than 2n log n [comparisons] in total
+  for a sequence of length n" (Section 2.1);
+* one adaptive bitonic merge of m values makes exactly ``2m - log2(m) - 2``
+  comparisons (Section 4.1: "a total of 2n - log n - 2");
+* the Appendix-A stream program needs O(log^3 n) stream operations
+  (``(j^2 + j)/2`` phases per level, Section 5.4);
+* the overlapped program needs O(log^2 n) operations (``2j - 1`` steps per
+  level);
+* the approach is time optimal for up to ``p = n / log n`` processors with
+  multi-block substreams, ``p = n / log^2 n`` with single-block substreams
+  (Section 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.core.bitonic_tree import is_power_of_two
+from repro.core.layout import overlapped_step_count, total_sequential_phases
+
+__all__ = [
+    "comparisons_upper_bound",
+    "merge_comparison_count",
+    "abisort_comparison_count",
+    "sequential_phase_total",
+    "overlapped_step_total",
+    "fit_log_growth",
+    "parallel_time_model",
+    "max_processors",
+    "speedup_vs_network",
+]
+
+
+def comparisons_upper_bound(n: int) -> float:
+    """The Bilardi-Nicolau bound: 2 n log2 n comparisons."""
+    if n < 2:
+        return 0.0
+    return 2.0 * n * math.log2(n)
+
+
+def merge_comparison_count(m: int) -> int:
+    """Exact comparisons of one adaptive bitonic merge of m values.
+
+    Stage k runs 2^k min/max determinations of log(m) - k comparisons each:
+    ``sum_k 2^k (log m - k) = 2m - log2(m) - 2``.
+    """
+    if not is_power_of_two(m) or m < 2:
+        raise ModelError(f"merge length must be a power of two >= 2, got {m}")
+    return 2 * m - (m.bit_length() - 1) - 2
+
+
+def abisort_comparison_count(n: int) -> int:
+    """Exact comparisons of the full adaptive bitonic sort of n values.
+
+    Level j merges ``n / 2^j`` trees of ``2^j`` values each; summing
+    :func:`merge_comparison_count` over all levels.  Data independent --
+    which is why "the timings of GPU-ABiSort do not vary significantly
+    dependent on the data to sort" (Section 8).
+    """
+    if not is_power_of_two(n) or n < 2:
+        raise ModelError(f"n must be a power of two >= 2, got {n}")
+    log_n = n.bit_length() - 1
+    return sum(
+        (n >> j) * merge_comparison_count(1 << j) for j in range(1, log_n + 1)
+    )
+
+
+def sequential_phase_total(n: int) -> int:
+    """Stream operations (phases) of the Appendix-A program: Theta(log^3 n)."""
+    log_n = n.bit_length() - 1
+    return sum(total_sequential_phases(j) for j in range(1, log_n + 1))
+
+
+def overlapped_step_total(n: int) -> int:
+    """Steps of the Section-5.4 program: Theta(log^2 n)."""
+    log_n = n.bit_length() - 1
+    return sum(overlapped_step_count(j) for j in range(1, log_n + 1))
+
+
+def fit_log_growth(ns, counts, degree: int) -> np.ndarray:
+    """Least-squares polynomial-in-log2(n) fit of operation counts.
+
+    Returns the coefficient vector (highest degree first).  Used to verify
+    measured stream-op counts grow as log^2 n (overlapped) vs log^3 n
+    (sequential): fit both degrees, compare residuals.
+    """
+    x = np.log2(np.asarray(ns, dtype=float))
+    y = np.asarray(counts, dtype=float)
+    if x.shape != y.shape or x.size < degree + 1:
+        raise ModelError("need at least degree+1 (n, count) points")
+    return np.polyfit(x, y, degree)
+
+
+def fit_residual(ns, counts, degree: int) -> float:
+    """Relative RMS residual of the :func:`fit_log_growth` fit."""
+    x = np.log2(np.asarray(ns, dtype=float))
+    y = np.asarray(counts, dtype=float)
+    coeffs = fit_log_growth(ns, counts, degree)
+    pred = np.polyval(coeffs, x)
+    return float(np.sqrt(np.mean((pred - y) ** 2)) / np.mean(y))
+
+
+def parallel_time_model(n: int, p: int, algorithm: str = "abisort") -> float:
+    """Idealised parallel step count: the Section-1 comparison.
+
+    ``abisort``: O((n log n) / p); ``network``: O((n log^2 n) / p).
+    """
+    if p <= 0:
+        raise ModelError("processor count must be positive")
+    log_n = math.log2(n)
+    if algorithm == "abisort":
+        return n * log_n / p
+    if algorithm == "network":
+        return n * log_n * log_n / p
+    raise ModelError(f"unknown algorithm {algorithm!r}")
+
+
+def max_processors(n: int, multi_block_substreams: bool = True) -> int:
+    """Largest p for which the approach stays time optimal (Section 1).
+
+    With multi-block substreams (the O(log^2 n) program): ``n / log n``;
+    with single contiguous blocks only (the O(log^3 n) program):
+    ``n / log^2 n``.
+    """
+    if n < 4:
+        return 1
+    log_n = math.log2(n)
+    denom = log_n if multi_block_substreams else log_n * log_n
+    return max(1, int(n / denom))
+
+
+def speedup_vs_network(n: int) -> float:
+    """Asymptotic work advantage over sorting networks: log2 n."""
+    return math.log2(n)

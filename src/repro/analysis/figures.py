@@ -1,0 +1,135 @@
+"""Regenerate the paper's figures as text.
+
+* :func:`figure1_merge_trace` -- Figure 1: the bitonic merge of the paper's
+  16-value example, one row per merge stage.
+* :func:`figure4_table` .. :func:`figure7_table` -- the output-stream layout
+  tables of Figures 4-7: the tree level of the node pair at every stream
+  memory location after each phase/step.  The paper prints these compactly
+  (only occupied locations); :func:`render_layout_table` reproduces that
+  form, and the exact cell strings are asserted against the paper in
+  ``tests/analysis/test_figures.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.layout import (
+    LayoutTracker,
+    PairLabel,
+    overlapped_schedule,
+    sequential_schedule,
+    truncated_overlapped_schedule,
+)
+
+__all__ = [
+    "FIGURE1_INPUT",
+    "figure1_merge_trace",
+    "render_label",
+    "render_layout_table",
+    "figure4_table",
+    "figure5_table",
+    "figure6_table",
+    "figure7_table",
+]
+
+#: The 16-value bitonic sequence of Figure 1.
+FIGURE1_INPUT = [0, 2, 3, 5, 7, 10, 11, 13, 15, 14, 12, 9, 8, 6, 4, 1]
+
+
+def figure1_merge_trace(values: list[int] | None = None) -> list[list[int]]:
+    """Figure 1: bitonic merge rows (input + after each stride stage).
+
+    Each stage compares each element of the first half of every 2h-block
+    with its counterpart in the second half, writing minima left, maxima
+    right -- for strides ``h = n/2, n/4, ..., 1``.  Returns ``log2 n + 1``
+    rows, the first being the input.
+    """
+    seq = np.asarray(FIGURE1_INPUT if values is None else values)
+    n = seq.shape[0]
+    rows = [seq.tolist()]
+    h = n // 2
+    while h >= 1:
+        blocks = seq.reshape(-1, 2, h)
+        lo = np.minimum(blocks[:, 0, :], blocks[:, 1, :])
+        hi = np.maximum(blocks[:, 0, :], blocks[:, 1, :])
+        blocks[:, 0, :] = lo
+        blocks[:, 1, :] = hi
+        seq = blocks.reshape(n)
+        rows.append(seq.tolist())
+        h //= 2
+    return rows
+
+
+def render_label(label: PairLabel | None) -> str:
+    """Print a pair label the way the paper does: ``21``, ``2s``, ...``"""
+    if label is None:
+        return ""
+    a, b, _tree = label
+    return f"{a}{b}"
+
+
+def render_layout_table(
+    tracker: LayoutTracker, describe: str = "stage-phase"
+) -> list[tuple[str, str]]:
+    """The paper's compact layout-table rows.
+
+    One output row per schedule step: a description column ("stage phase"
+    for the sequential schedules of Figures 4-5, "step stages" for the
+    overlapped schedules of Figures 6-7) and the space-joined labels of all
+    *occupied* memory locations -- the paper omits empty locations.
+    """
+    out: list[tuple[str, str]] = []
+    for active, snapshot, _written in tracker.rows:
+        if describe == "stage-phase":
+            (k, i) = active[0]
+            desc = f"{k} {i}"
+        else:
+            stages = sorted({k for k, _i in active})
+            desc = ",".join(str(k) for k in stages)
+        cells = " ".join(
+            render_label(lab) for lab in snapshot if lab is not None
+        )
+        out.append((desc, cells))
+    return out
+
+
+def _tracked(log_n: int, j: int, schedule) -> LayoutTracker:
+    return LayoutTracker(log_n, j).run(schedule)
+
+
+def figure4_table() -> list[tuple[str, str]]:
+    """Figure 4: last recursion level (j = 4) of sorting n = 2^4 values,
+    sequential stage execution."""
+    t = _tracked(4, 4, sequential_schedule(4))
+    return render_layout_table(t, "stage-phase")
+
+
+def figure5_table() -> list[tuple[str, str]]:
+    """Figure 5: recursion level j = 4 of sorting n = 2^5 values (two
+    bitonic trees merged simultaneously), sequential stage execution."""
+    t = _tracked(5, 4, sequential_schedule(4))
+    return render_layout_table(t, "stage-phase")
+
+
+def figure6_table() -> list[tuple[str, str]]:
+    """Figure 6: same as Figure 5 with the merge stages executed partially
+    overlapped (2j - 1 = 7 steps)."""
+    t = _tracked(5, 4, overlapped_schedule(4))
+    return render_layout_table(t, "steps")
+
+
+def figure7_table() -> list[tuple[str, str]]:
+    """Figure 7: adaptive bitonic merging of 2^6 values when the optimized
+    bitonic merge of 2^4 values is applied afterwards (2j - 5 = 7 steps)."""
+    t = _tracked(6, 6, truncated_overlapped_schedule(6, 4))
+    return render_layout_table(t, "steps")
+
+
+def format_figure(rows: list[tuple[str, str]], title: str) -> str:
+    """Human-readable rendering of a layout table."""
+    width = max(len(desc) for desc, _ in rows)
+    lines = [title]
+    for desc, cells in rows:
+        lines.append(f"  {desc:<{width}}  |  {cells}")
+    return "\n".join(lines)

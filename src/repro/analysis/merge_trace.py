@@ -1,0 +1,163 @@
+"""Execution traces of the stream merge -- the paper's Figures 2 and 3.
+
+Figure 2 of the paper walks three parallel instances of the adaptive
+min/max determination over bitonic trees of 2^3 nodes: for each phase it
+shows the node pointers in the pq streams, the comparison each kernel
+instance performs, and the node pairs written.  Figure 3 shows the same
+run from the memory side: which substream of the node output stream each
+phase writes and reads.
+
+This module instruments a real run of the stream program to produce those
+views for *any* number of 8-node trees (the extracted paper text does not
+preserve the figures' example values, so the regenerated trace uses a
+seeded workload; the structure -- phases, comparison counts, substream
+blocks -- is asserted against the paper's in the tests and benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import kernels, layout
+from repro.core.abisort import GPUABiSorter
+from repro.core.values import make_values
+from repro.errors import SortInputError
+from repro.stream.stream import values_greater
+
+__all__ = ["PhaseTrace", "MergeTrace", "trace_level_merge", "format_merge_trace"]
+
+
+@dataclass
+class PhaseTrace:
+    """One phase of one stage, as Figure 2 presents it."""
+
+    stage: int
+    phase: int
+    #: (p index, q index) read per instance (empty for phase 0).
+    pq_in: list[tuple[int, int]] = field(default_factory=list)
+    #: "a cmp b" comparison strings, one per instance.
+    comparisons: list[str] = field(default_factory=list)
+    #: (p index, q index) pushed per instance.
+    pq_out: list[tuple[int, int]] = field(default_factory=list)
+    #: node-pair output block [start, stop) in pair units (Figure 3 view).
+    out_block: tuple[int, int] = (0, 0)
+
+
+@dataclass
+class MergeTrace:
+    """The full per-phase trace of one recursion level."""
+
+    n: int
+    level: int
+    phases: list[PhaseTrace] = field(default_factory=list)
+    sorted_keys: np.ndarray | None = None
+
+
+def trace_level_merge(num_trees: int = 4, seed: int = 0) -> MergeTrace:
+    """Run the merge of ``num_trees`` bitonic trees of 2^3 nodes, traced.
+
+    Reproduces the Figure-2 scenario: each tree holds a bitonic 8-sequence
+    (two opposite sorted 4-runs); the merge is level j = 3 of sorting
+    ``num_trees * 8`` values.  Returns the per-phase trace.
+    """
+    if num_trees < 1 or num_trees & (num_trees - 1):
+        raise SortInputError(
+            "the traced level needs a power-of-two tree count (the paper's "
+            "figure shows 3 of the 2^(log n - 3) trees with an ellipsis)"
+        )
+    rng = np.random.default_rng(seed)
+    n = num_trees * 8
+    # Build the level-3 input: per tree, 4 ascending then 4 descending.
+    keys = np.empty(n, dtype=np.float32)
+    for t in range(num_trees):
+        vals = np.sort(rng.integers(0, 16, 8).astype(np.float32) +
+                       rng.random(8, dtype=np.float32) * 0.01)
+        asc, desc = vals[:4], vals[4:][::-1]
+        if t & 1:  # trees alternate: (desc, asc) pairs merge descending
+            asc, desc = vals[4:], vals[:4][::-1]
+        keys[t * 8 : t * 8 + 4] = asc
+        keys[t * 8 + 4 : t * 8 + 8] = desc
+
+    values = make_values(keys)
+    trace = MergeTrace(n=n, level=3)
+
+    sorter = GPUABiSorter(schedule="sequential", gpu_semantics=False)
+    state = sorter._setup(values)
+    sorter._init_trees(state, values)
+    # Levels 1 and 2 would normally have produced these runs; we injected
+    # them directly, so only run level 3 -- the Figure-2 merge.
+    state.level = 3
+    state.tag = "level3"
+    sorter._extract_roots(state, 3)
+
+    log_n = state.log_n
+    nodes = state.nodes_in.array()
+
+    def record_phase(k: int, i: int) -> PhaseTrace:
+        pt = PhaseTrace(stage=k, phase=i)
+        block = layout.phase_block(log_n, 3, k, i)
+        pt.out_block = (block.start_pair, block.stop_pair)
+        return pt
+
+    for k in range(3):
+        instances = layout.stage_instances(log_n, 3, k)
+        # phase 0
+        pt = record_phase(k, 0)
+        roots = nodes[instances : 2 * instances]
+        spares = nodes[0:instances]
+        gt = values_greater(roots, spares)
+        for g in range(instances):
+            op = ">" if gt[g] else "<"
+            pt.comparisons.append(
+                f"{roots['key'][g]:.0f} {op} {spares['key'][g]:.0f}"
+            )
+        sorter._phase0_op(state, 3, k)
+        state.pq_parity ^= 1
+        seg = sorter._pq_segment(state, 3, k)
+        pq = state.pq[0].array()[seg[0] : seg[1]]
+        pt.pq_out = [(int(pq[2 * g]), int(pq[2 * g + 1])) for g in range(instances)]
+        trace.phases.append(pt)
+
+        for i in range(1, 3 - k):
+            pt = record_phase(k, i)
+            pq = state.pq[0].array()[seg[0] : seg[1]]
+            pt.pq_in = [
+                (int(pq[2 * g]), int(pq[2 * g + 1])) for g in range(instances)
+            ]
+            p_nodes = nodes[[a for a, _b in pt.pq_in]]
+            q_nodes = nodes[[b for _a, b in pt.pq_in]]
+            gt = values_greater(p_nodes, q_nodes)
+            for g in range(instances):
+                op = ">" if gt[g] else "<"
+                pt.comparisons.append(
+                    f"{p_nodes['key'][g]:.0f} {op} {q_nodes['key'][g]:.0f}"
+                )
+            sorter._phaseI_op(state, 3, [(k, i)])
+            state.pq_parity ^= 1
+            pq = state.pq[0].array()[seg[0] : seg[1]]
+            pt.pq_out = [
+                (int(pq[2 * g]), int(pq[2 * g + 1])) for g in range(instances)
+            ]
+            trace.phases.append(pt)
+
+    sorter._level_output_copy(state, 3)
+    trace.sorted_keys = nodes["key"][n : 2 * n].copy()
+    return trace
+
+
+def format_merge_trace(trace: MergeTrace) -> str:
+    """Figure-2/3-style text rendering of a traced merge."""
+    lines = [
+        f"adaptive bitonic merge trace: {trace.n // 8} trees of 2^3 nodes "
+        f"(level j = {trace.level})"
+    ]
+    for pt in trace.phases:
+        lines.append(f"  stage {pt.stage} phase {pt.phase} "
+                     f"-> node pairs [{pt.out_block[0]}, {pt.out_block[1]})")
+        if pt.pq_in:
+            lines.append("    pq in : " + "  ".join(f"p={a} q={b}" for a, b in pt.pq_in))
+        lines.append("    compare: " + "  ".join(pt.comparisons))
+        lines.append("    pq out: " + "  ".join(f"p={a} q={b}" for a, b in pt.pq_out))
+    return "\n".join(lines)

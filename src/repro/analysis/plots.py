@@ -1,0 +1,99 @@
+"""ASCII line plots of the timing series.
+
+The paper presents Tables 2 and 3 together with line plots of the same
+data (time vs. sequence length per sorter).  This module renders those
+plots as terminal text so the benchmark harness and the CLI can reproduce
+the figure next to the table, dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ModelError
+
+__all__ = ["ascii_plot", "timing_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = True,
+    x_label: str = "n",
+    y_label: str = "ms",
+    title: str = "",
+) -> str:
+    """Render named (xs, ys) series into a character grid.
+
+    The x axis is logarithmic by default (the tables sweep powers of two);
+    the y axis is linear, matching the paper's plots.
+    """
+    if not series:
+        raise ModelError("nothing to plot")
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys) or not xs:
+            raise ModelError(f"series {name!r} must have matching nonempty x/y")
+
+    def fx(x: float) -> float:
+        return math.log2(x) if log_x else x
+
+    all_x = [fx(x) for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = 0.0, max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, (xs, ys)), marker in zip(series.items(), _MARKERS):
+        # connect consecutive points with interpolated markers
+        pts = sorted(zip(xs, ys))
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            steps = max(2, width // max(1, len(pts) - 1))
+            for s in range(steps + 1):
+                t = s / steps
+                x = fx(x0) + t * (fx(x1) - fx(x0))
+                y = y0 + t * (y1 - y0)
+                col = int((x - x_lo) / x_span * (width - 1))
+                row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+                if grid[row][col] == " ":
+                    grid[row][col] = marker if s in (0, steps) else "."
+        for x, y in pts:  # end markers win over line dots
+            col = int((fx(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.0f} {y_label}"
+    lines.append(f"{top_label:>10} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 10 + " |" + "".join(row) + "|")
+    lines.append(f"{'0':>10} +" + "-" * width + "+")
+    if log_x:
+        lines.append(" " * 12 + f"2^{x_lo:.0f}" + " " * (width - 10) + f"2^{x_hi:.0f}  ({x_label})")
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def timing_plot(rows, title: str) -> str:
+    """The paper-figure companion of a Tables-2/3 row list."""
+    ns = [row.n for row in rows]
+    series: dict[str, tuple[list[float], list[float]]] = {
+        "CPU sort": (ns, [0.5 * (r.cpu_lo_ms + r.cpu_hi_ms) for r in rows]),
+        "GPUSort": (ns, [r.gpusort_ms for r in rows]),
+    }
+    for variant in rows[0].abisort_ms:
+        series[f"GPU-ABiSort {variant}"] = (
+            ns, [r.abisort_ms[variant] for r in rows]
+        )
+    return ascii_plot(series, title=title)

@@ -1,0 +1,78 @@
+"""PRAM-round analysis: the Bilardi-Nicolau parallel-time claim.
+
+Section 2.1 motivates the algorithm choice: "adaptive bitonic sorting can
+run in O(log^2 n) parallel time on a PRAC [EREW-PRAM] with O(n / log n)
+processors", which "allows us to develop an algorithm for stream
+architectures with only O(log^2 n) stream operations".
+
+On an EREW-PRAM with ``p`` processors, each parallel *round* lets every
+processor execute one O(1) phase-step of one merge instance.  The work
+schedule is exactly the overlapped schedule of Section 5.4: step ``s`` of
+level ``j`` comprises one phase-step for each active instance, and a step
+with ``m`` instances costs ``ceil(m / p)`` rounds (Brent's theorem applied
+to this schedule).  Because the per-step instance counts follow from
+:mod:`repro.core.layout`, the round count is computed exactly, and the
+claims become checkable statements:
+
+* with ``p >= n / log n``: rounds = O(log^2 n);
+* total work (rounds at p = 1) = Theta(n log n) -- the optimal work;
+* speedup is linear until p reaches ~n / log n.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelError
+from repro.core.bitonic_tree import is_power_of_two
+from repro.core import layout
+
+__all__ = ["pram_rounds", "pram_work", "pram_speedup", "optimal_processor_range"]
+
+
+def _step_instances(n: int) -> list[int]:
+    """Instance counts of every schedule step of the whole sort."""
+    log_n = n.bit_length() - 1
+    counts: list[int] = []
+    for j in range(1, log_n + 1):
+        for active in layout.overlapped_schedule(j):
+            counts.append(
+                sum(layout.stage_instances(log_n, j, k) for k, _i in active)
+            )
+    return counts
+
+
+def pram_rounds(n: int, p: int) -> int:
+    """Exact EREW-PRAM rounds of adaptive bitonic sort with p processors."""
+    if not is_power_of_two(n) or n < 2:
+        raise ModelError(f"n must be a power of two >= 2, got {n}")
+    if p < 1:
+        raise ModelError("need at least one processor")
+    return sum(-(-m // p) for m in _step_instances(n))
+
+
+def pram_work(n: int) -> int:
+    """Total phase-steps (= rounds at p = 1): Theta(n log n)."""
+    return pram_rounds(n, 1)
+
+
+def pram_speedup(n: int, p: int) -> float:
+    """Speedup of p processors over one."""
+    return pram_work(n) / pram_rounds(n, p)
+
+
+def optimal_processor_range(n: int, efficiency: float = 0.5) -> int:
+    """Largest p whose efficiency (speedup / p) stays above ``efficiency``.
+
+    The Section-2.1 claim predicts this grows as ~n / log n; verified in
+    the E19 benchmark.
+    """
+    if not 0 < efficiency <= 1:
+        raise ModelError("efficiency threshold must be in (0, 1]")
+    p = 1
+    best = 1
+    while p <= n:
+        if pram_speedup(n, p) / p >= efficiency:
+            best = p
+        p *= 2
+    return best

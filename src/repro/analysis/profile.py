@@ -1,0 +1,97 @@
+"""Per-level cost profiling of a sort run.
+
+Groups a stream machine's operation log by the driver's tags (init, local
+sort, per-level merge phases) and reports, per group: stream operations,
+kernel instances, bytes moved, and modeled milliseconds on a chosen GPU.
+Answers the practical questions the paper's design revolves around --
+where do the stream operations go, and which levels dominate the time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.stream.context import StreamMachine
+from repro.stream.gpu_model import GPUModel, estimate_gpu_time_ms
+from repro.stream.mapping2d import Mapping2D, ZOrderMapping
+
+__all__ = ["TagProfile", "RunProfile", "profile_run", "format_profile"]
+
+
+@dataclass
+class TagProfile:
+    """Aggregates for one tag (e.g. ``level7``)."""
+
+    tag: str
+    ops: int = 0
+    kernel_ops: int = 0
+    instances: int = 0
+    bytes_moved: int = 0
+    modeled_ms: float = 0.0
+
+
+@dataclass
+class RunProfile:
+    """The per-tag breakdown of one run."""
+
+    gpu_name: str
+    total_ms: float
+    tags: list[TagProfile] = field(default_factory=list)
+
+    def dominant(self) -> TagProfile:
+        """The tag with the largest modeled time."""
+        return max(self.tags, key=lambda t: t.modeled_ms)
+
+
+def profile_run(
+    machine: StreamMachine,
+    gpu: GPUModel,
+    mapping: Mapping2D | None = None,
+) -> RunProfile:
+    """Profile a finished run's operation log on ``gpu``."""
+    if not machine.ops:
+        raise ModelError("the machine has no logged operations to profile")
+    mapping = mapping or ZOrderMapping()
+    cost = estimate_gpu_time_ms(machine.ops, gpu, mapping)
+
+    tags: dict[str, TagProfile] = {}
+    for op in machine.ops:
+        tp = tags.setdefault(op.tag or "(untagged)", TagProfile(op.tag or "(untagged)"))
+        tp.ops += 1
+        if op.kind == "kernel":
+            tp.kernel_ops += 1
+        tp.instances += op.instances
+        tp.bytes_moved += op.total_bytes
+    for tag, ms in cost.by_tag.items():
+        tags[tag or "(untagged)"].modeled_ms = ms
+
+    ordered = sorted(tags.values(), key=_tag_sort_key)
+    return RunProfile(gpu_name=gpu.name, total_ms=cost.total_ms, tags=ordered)
+
+
+def _tag_sort_key(tp: TagProfile) -> tuple:
+    """Natural order: init/local first, then levels numerically."""
+    tag = tp.tag
+    if tag.startswith("level"):
+        try:
+            return (1, int(tag[5:]))
+        except ValueError:
+            return (1, 1 << 30)
+    return (0, 0)
+
+
+def format_profile(profile: RunProfile) -> str:
+    """Terminal table of a run profile."""
+    lines = [
+        f"run profile on {profile.gpu_name} (total {profile.total_ms:.2f} ms)",
+        f"  {'tag':<14} {'ops':>5} {'kernels':>8} {'instances':>10} "
+        f"{'MB':>8} {'ms':>8} {'share':>6}",
+    ]
+    for tp in profile.tags:
+        share = tp.modeled_ms / profile.total_ms if profile.total_ms else 0.0
+        lines.append(
+            f"  {tp.tag:<14} {tp.ops:>5} {tp.kernel_ops:>8} {tp.instances:>10} "
+            f"{tp.bytes_moved / 1e6:>8.2f} {tp.modeled_ms:>8.2f} {share:>6.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Baseline sorters the paper compares against (Sections 2.2 and 8).
+
+* :mod:`repro.baselines.cpu_sort` -- the CPU reference: an instrumented
+  median-of-3 quicksort with insertion-sort cutoff (the paper's "C++ STL
+  sort function (an optimized quick sort implementation)").
+* :mod:`repro.baselines.bitonic_network` -- Batcher's bitonic sorting
+  network, including a stream-machine program standing in for GPUSort
+  [GRHM05], the fastest prior GPU sorter and the paper's main GPU baseline.
+* :mod:`repro.baselines.odd_even_merge` -- Batcher's odd-even merge sort
+  network (the Kipfer et al. [KSW04, KW05] baseline family).
+* :mod:`repro.baselines.periodic_balanced` -- the periodic balanced sorting
+  network (the Govindaraju et al. [GRM05] baseline).
+* :mod:`repro.baselines.odd_even_transition` -- O(n^2) odd-even transition
+  sort, the building block of the Section-7.1 local sort, standalone.
+
+All network baselines run both as plain vectorised NumPy functions and as
+stream-machine programs whose operation logs feed the same hardware cost
+model as GPU-ABiSort, so table comparisons are counted work vs. counted
+work on identical substrates.
+"""
+
+from repro.baselines.cpu_sort import CPUSortCounters, quicksort, std_sort
+from repro.baselines.bitonic_network import (
+    bitonic_network_passes,
+    bitonic_network_sort,
+    gpusort_stream,
+)
+from repro.baselines.odd_even_merge import (
+    odd_even_merge_passes,
+    odd_even_merge_sort,
+    odd_even_merge_stream,
+)
+from repro.baselines.periodic_balanced import (
+    periodic_balanced_passes,
+    periodic_balanced_sort,
+    periodic_balanced_stream,
+)
+from repro.baselines.odd_even_transition import (
+    odd_even_transition_exchanges,
+    odd_even_transition_sort,
+)
+
+__all__ = [
+    "CPUSortCounters",
+    "quicksort",
+    "std_sort",
+    "bitonic_network_passes",
+    "bitonic_network_sort",
+    "gpusort_stream",
+    "odd_even_merge_passes",
+    "odd_even_merge_sort",
+    "odd_even_merge_stream",
+    "periodic_balanced_passes",
+    "periodic_balanced_sort",
+    "periodic_balanced_stream",
+    "odd_even_transition_exchanges",
+    "odd_even_transition_sort",
+]

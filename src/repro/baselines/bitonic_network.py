@@ -1,0 +1,167 @@
+"""Batcher's bitonic sorting network -- the GPUSort stand-in.
+
+The paper's main GPU baseline is GPUSort [GRHM05], a cache-optimized GPU
+implementation of Batcher's bitonic sorting network: data independent,
+``log n (log n + 1) / 2`` full passes over the data, hence
+O((n log^2 n) / p) parallel time -- asymptotically worse than GPU-ABiSort,
+which is precisely the comparison Tables 2 and 3 make.
+
+The network (for power-of-two n): stages ``k = 1 .. log n``; stage ``k``
+produces sorted runs of ``2^k`` with alternating direction via substages
+``s = k-1 .. 0``; substage ``s`` compare-exchanges each element ``i`` with
+its partner ``i XOR 2^s``, direction given by bit ``k`` of ``i``.
+
+Provided forms:
+
+* :func:`bitonic_network_sort` -- whole-array NumPy execution (one
+  vectorised compare-exchange per pass), the correctness oracle;
+* :func:`gpusort_stream` -- the stream-machine program: one ``network_pass``
+  kernel per pass over ping-pong value streams, each instance reading its
+  own element linearly, gathering its partner, and writing min or max.  The
+  resulting op log feeds the same GPU cost model as GPU-ABiSort; GPUSort's
+  fixed B=64 tiling is modeled by costing these ops with the GPU's
+  ``tiled_read_efficiency`` (see :mod:`repro.stream.gpu_model`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SortInputError
+from repro.core.bitonic_tree import is_power_of_two
+from repro.stream.context import StreamMachine
+from repro.stream.kernel import KernelContext
+from repro.stream.stream import VALUE_DTYPE, values_greater
+
+__all__ = [
+    "bitonic_network_passes",
+    "bitonic_pass_roles",
+    "bitonic_network_sort",
+    "bitonic_exchange_count",
+    "gpusort_stream",
+    "network_pass_body",
+    "run_network_stream",
+]
+
+
+def bitonic_network_passes(n: int) -> list[tuple[int, int]]:
+    """The (stage, substage) pass sequence; length log n (log n + 1) / 2."""
+    if not is_power_of_two(n) or n < 2:
+        raise SortInputError(
+            f"bitonic network requires power-of-two n >= 2, got {n} "
+            f"(as in the paper: GPU sorting networks are 'restricted to "
+            f"power-of-two sequence lengths')"
+        )
+    log_n = n.bit_length() - 1
+    return [(k, s) for k in range(1, log_n + 1) for s in range(k - 1, -1, -1)]
+
+
+def bitonic_pass_roles(n: int, stage: int, substage: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-element (partner index, take-min flag) of one network pass.
+
+    Element ``i`` pairs with ``i XOR 2^substage``; it keeps the minimum iff
+    it is the lower pair element XOR its ``2^stage`` block is descending.
+    """
+    i = np.arange(n, dtype=np.int64)
+    partner = i ^ (1 << substage)
+    is_lower = (i & (1 << substage)) == 0
+    descending = ((i >> stage) & 1) == 1
+    take_min = is_lower != descending
+    return partner, take_min
+
+
+def bitonic_exchange_count(n: int) -> int:
+    """Compare-exchanges of the full network: (n/2) log n (log n + 1) / 2."""
+    log_n = n.bit_length() - 1
+    return (n // 2) * (log_n * (log_n + 1) // 2)
+
+
+def _apply_pass(data: np.ndarray, partner: np.ndarray, take_min: np.ndarray) -> np.ndarray:
+    """One whole-array compare-exchange pass (pure function)."""
+    own = data
+    other = data[partner]
+    cond = values_greater(own, other)
+    pick_other = cond == take_min
+    out = np.empty_like(data)
+    out["key"] = np.where(pick_other, other["key"], own["key"])
+    out["id"] = np.where(pick_other, other["id"], own["id"])
+    return out
+
+
+def bitonic_network_sort(values: np.ndarray) -> np.ndarray:
+    """Sort by running every pass of the network (NumPy, no stream machine)."""
+    if values.dtype != VALUE_DTYPE:
+        raise SortInputError(f"expected VALUE_DTYPE, got {values.dtype}")
+    data = values.copy()
+    n = data.shape[0]
+    for stage, substage in bitonic_network_passes(n):
+        partner, take_min = bitonic_pass_roles(n, stage, substage)
+        data = _apply_pass(data, partner, take_min)
+    return data
+
+
+def network_pass_body(ctx: KernelContext) -> None:
+    """Stream kernel for one network pass (any comparator network).
+
+    Reads the instance's own element linearly, gathers the partner (the
+    static pattern arrives as constants -- it is data independent and known
+    at compile time on a real GPU), and outputs min or max per the role
+    flag.  Elements outside any comparator pair pass ``partner == self`` and
+    copy through.
+    """
+    own = ctx.read("own")
+    partner = ctx.gather("data", ctx.const("partner"))
+    take_min = ctx.const("take_min")
+    cond = values_greater(own, partner)
+    pick_other = cond == take_min
+    out = np.empty(ctx.instances, dtype=VALUE_DTYPE)
+    out["key"] = np.where(pick_other, partner["key"], own["key"])
+    out["id"] = np.where(pick_other, partner["id"], own["id"])
+    ctx.push("out", out)
+
+
+def run_network_stream(
+    values: np.ndarray,
+    pass_roles: list[tuple[np.ndarray, np.ndarray]],
+    machine: StreamMachine | None = None,
+    *,
+    tag: str = "network",
+) -> tuple[np.ndarray, StreamMachine]:
+    """Run a comparator network as a stream program (shared by baselines).
+
+    Ping-pong between two value streams, one ``network_pass`` stream
+    operation per pass: the canonical GPU sorting-network structure
+    ("apparently all of them are based on the bitonic or similar sorting
+    networks", Section 2.2).
+    """
+    if values.dtype != VALUE_DTYPE:
+        raise SortInputError(f"expected VALUE_DTYPE, got {values.dtype}")
+    machine = machine or StreamMachine(distinct_io=True)
+    n = values.shape[0]
+    ping = machine.wrap("net_ping", values.copy())
+    pong = machine.alloc("net_pong", VALUE_DTYPE, n)
+    cur, nxt = ping, pong
+    for p, (partner, take_min) in enumerate(pass_roles):
+        machine.kernel(
+            "network_pass",
+            instances=n,
+            body=network_pass_body,
+            inputs={"own": (cur.whole(), 1)},
+            gathers={"data": cur},
+            consts={"partner": partner, "take_min": take_min},
+            outputs={"out": (nxt.whole(), 1)},
+            tag=f"{tag}_pass{p}",
+        )
+        cur, nxt = nxt, cur
+    return cur.array().copy(), machine
+
+
+def gpusort_stream(
+    values: np.ndarray, machine: StreamMachine | None = None
+) -> tuple[np.ndarray, StreamMachine]:
+    """The GPUSort stand-in: the bitonic network as a stream program."""
+    n = values.shape[0]
+    roles = [
+        bitonic_pass_roles(n, k, s) for k, s in bitonic_network_passes(n)
+    ]
+    return run_network_stream(values, roles, machine, tag="gpusort")

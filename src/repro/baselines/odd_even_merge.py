@@ -1,0 +1,110 @@
+"""Batcher's odd-even merge sort network.
+
+The second classic O(n log^2 n) sorting network, used on GPUs by Kipfer &
+Westermann ("Improved GPU sorting", the [KSW04]/[KW05] baselines of Section
+2.2).  Same asymptotics as the bitonic network but with fewer comparators
+(not every element is paired in every pass), all runs ascending.
+
+Pass structure (Knuth's merge exchange / Batcher 1968): for ``p = 1, 2, 4,
+... < n`` and ``k = p, p/2, ..., 1``, compare-exchange ``(i, i + k)`` for
+every ``i`` with ``k % p == i % (2k) % ...`` -- concretely the standard
+formulation below, which for each (p, k) pass compares ``j + i`` with
+``j + i + k`` for ``j in range(k % p, n - k, 2k)``, ``i in range(k)``,
+whenever both indexes fall in the same ``2p`` block.
+
+Like the other network baselines it runs both as a whole-array NumPy sorter
+and as a stream program via
+:func:`repro.baselines.bitonic_network.run_network_stream`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SortInputError
+from repro.core.bitonic_tree import is_power_of_two
+from repro.stream.context import StreamMachine
+from repro.stream.stream import VALUE_DTYPE
+from repro.baselines.bitonic_network import _apply_pass, run_network_stream
+
+__all__ = [
+    "odd_even_merge_passes",
+    "odd_even_merge_pass_roles",
+    "odd_even_merge_comparator_count",
+    "odd_even_merge_sort",
+    "odd_even_merge_stream",
+]
+
+
+def odd_even_merge_passes(n: int) -> list[tuple[int, int]]:
+    """The (p, k) pass sequence; length log n (log n + 1) / 2."""
+    if not is_power_of_two(n) or n < 2:
+        raise SortInputError(
+            f"odd-even merge sort requires power-of-two n >= 2, got {n}"
+        )
+    passes = []
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            passes.append((p, k))
+            k //= 2
+        p *= 2
+    return passes
+
+
+def _pass_pairs(n: int, p: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Comparator pairs (lo, hi) of pass (p, k), vectorised."""
+    j = np.arange(k % p, n - k, 2 * k, dtype=np.int64)
+    i = np.arange(k, dtype=np.int64)
+    lo = (j[:, None] + i[None, :]).ravel()
+    hi = lo + k
+    same_block = (lo // (2 * p)) == (hi // (2 * p))
+    return lo[same_block], hi[same_block]
+
+
+def odd_even_merge_pass_roles(
+    n: int, p: int, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-element (partner, take-min) arrays for one (p, k) pass.
+
+    Unpaired elements point at themselves (a no-op compare), which is how
+    the GPU kernel copies them through.
+    """
+    lo, hi = _pass_pairs(n, p, k)
+    partner = np.arange(n, dtype=np.int64)
+    partner[lo] = hi
+    partner[hi] = lo
+    take_min = np.ones(n, dtype=bool)
+    take_min[hi] = False
+    return partner, take_min
+
+
+def odd_even_merge_comparator_count(n: int) -> int:
+    """Total comparators: sum of pair counts over all passes."""
+    return sum(
+        _pass_pairs(n, p, k)[0].shape[0] for p, k in odd_even_merge_passes(n)
+    )
+
+
+def odd_even_merge_sort(values: np.ndarray) -> np.ndarray:
+    """Sort by running every pass of the network (NumPy)."""
+    if values.dtype != VALUE_DTYPE:
+        raise SortInputError(f"expected VALUE_DTYPE, got {values.dtype}")
+    data = values.copy()
+    n = data.shape[0]
+    for p, k in odd_even_merge_passes(n):
+        partner, take_min = odd_even_merge_pass_roles(n, p, k)
+        data = _apply_pass(data, partner, take_min)
+    return data
+
+
+def odd_even_merge_stream(
+    values: np.ndarray, machine: StreamMachine | None = None
+) -> tuple[np.ndarray, StreamMachine]:
+    """The odd-even merge sort network as a stream program."""
+    n = values.shape[0]
+    roles = [
+        odd_even_merge_pass_roles(n, p, k) for p, k in odd_even_merge_passes(n)
+    ]
+    return run_network_stream(values, roles, machine, tag="oem")

@@ -1,0 +1,63 @@
+"""Odd-even transition sort (brick sort), the Section-7.1 building block.
+
+An O(n^2) sorting network: n passes that alternately compare-exchange the
+even pairs ``(0,1), (2,3), ...`` and the odd pairs ``(1,2), (3,4), ...``.
+The paper picks it for the per-kernel local sort of 8 pairs because "the
+comparison order of odd-even transition sort, that makes it also applicable
+as sorting network, allows for better SIMD optimizations than those of
+several other O(n^2) sorting algorithms" -- the whole pass is one
+data-independent vector compare-exchange, which is exactly how
+:func:`repro.core.kernels.local_sortw_body` executes it across all kernel
+instances at once.
+
+This module provides the standalone, whole-array version (used for testing
+the kernel against, and as a tiny-n sorter in its own right).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SortInputError
+from repro.stream.stream import VALUE_DTYPE, values_greater
+
+__all__ = ["odd_even_transition_sort", "odd_even_transition_exchanges"]
+
+
+def odd_even_transition_exchanges(n: int) -> int:
+    """Compare-exchange count of the full network: n passes of ~n/2 each."""
+    if n < 0:
+        raise SortInputError("length must be non-negative")
+    even_pairs = n // 2
+    odd_pairs = (n - 1) // 2
+    passes_each = (n + 1) // 2, n // 2  # even-start passes, odd-start passes
+    return passes_each[0] * even_pairs + passes_each[1] * odd_pairs
+
+
+def _compare_exchange_pairs(
+    out: np.ndarray, start: int, descending: bool
+) -> None:
+    """One transition pass: compare-exchange (i, i+1) for i = start, start+2, ..."""
+    n = out.shape[0]
+    a = out[start : n - 1 : 2]
+    b = out[start + 1 : n : 2]
+    cond = values_greater(a, b) != descending
+    ak = a["key"][cond].copy()
+    ai = a["id"][cond].copy()
+    a["key"][cond] = b["key"][cond]
+    a["id"][cond] = b["id"][cond]
+    b["key"][cond] = ak
+    b["id"][cond] = ai
+
+
+def odd_even_transition_sort(
+    values: np.ndarray, descending: bool = False
+) -> np.ndarray:
+    """Sort a VALUE_DTYPE array with n odd-even transition passes (a copy)."""
+    if values.dtype != VALUE_DTYPE:
+        raise SortInputError(f"expected VALUE_DTYPE, got {values.dtype}")
+    out = values.copy()
+    n = out.shape[0]
+    for pass_ in range(n):
+        _compare_exchange_pairs(out, pass_ % 2, descending)
+    return out

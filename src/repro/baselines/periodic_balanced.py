@@ -1,0 +1,79 @@
+"""The periodic balanced sorting network (Dowd, Perl, Rudolph, Saks 1989).
+
+Govindaraju et al.'s first GPU sorter ([GRM05] in Section 2.2) used this
+network: ``log n`` identical *periods*, each a balanced merger of ``log n``
+levels, totalling ``log^2 n`` passes of ``n/2`` comparators -- the same
+O(n log^2 n) work class as the bitonic network, but with a hardware-friendly
+fixed per-period wiring (the reason it suited the fixed-function GPU
+pipeline of the time).
+
+Level ``l`` of a period (``l = 0 .. log n - 1``) splits the array into
+blocks of ``n / 2^l`` elements and compare-exchanges each block's mirror
+pairs: position ``x`` with position ``(blocksize - 1) - x``, minimum to the
+left.  After ``log n`` periods any input is sorted (Dowd et al., Theorem 1;
+verified by exhaustive 0-1 tests and Hypothesis in the test suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SortInputError
+from repro.core.bitonic_tree import is_power_of_two
+from repro.stream.context import StreamMachine
+from repro.stream.stream import VALUE_DTYPE
+from repro.baselines.bitonic_network import _apply_pass, run_network_stream
+
+__all__ = [
+    "periodic_balanced_passes",
+    "periodic_balanced_pass_roles",
+    "periodic_balanced_sort",
+    "periodic_balanced_stream",
+]
+
+
+def periodic_balanced_passes(n: int) -> list[tuple[int, int]]:
+    """The (period, level) pass sequence; log n periods of log n levels."""
+    if not is_power_of_two(n) or n < 2:
+        raise SortInputError(
+            f"periodic balanced network requires power-of-two n >= 2, got {n}"
+        )
+    log_n = n.bit_length() - 1
+    return [(t, l) for t in range(log_n) for l in range(log_n)]
+
+
+def periodic_balanced_pass_roles(n: int, level: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-element (partner, take-min) arrays of one balanced-merger level.
+
+    Blocks of ``n >> level`` elements; within each block, mirror pairs.
+    """
+    block = n >> level
+    i = np.arange(n, dtype=np.int64)
+    in_block = i & (block - 1)
+    partner = (i & ~np.int64(block - 1)) | (block - 1 - in_block)
+    take_min = in_block < block // 2
+    return partner, take_min
+
+
+def periodic_balanced_sort(values: np.ndarray) -> np.ndarray:
+    """Sort by running log n full periods (NumPy)."""
+    if values.dtype != VALUE_DTYPE:
+        raise SortInputError(f"expected VALUE_DTYPE, got {values.dtype}")
+    data = values.copy()
+    n = data.shape[0]
+    for _period, level in periodic_balanced_passes(n):
+        partner, take_min = periodic_balanced_pass_roles(n, level)
+        data = _apply_pass(data, partner, take_min)
+    return data
+
+
+def periodic_balanced_stream(
+    values: np.ndarray, machine: StreamMachine | None = None
+) -> tuple[np.ndarray, StreamMachine]:
+    """The periodic balanced sorting network as a stream program."""
+    n = values.shape[0]
+    roles = [
+        periodic_balanced_pass_roles(n, level)
+        for _t, level in periodic_balanced_passes(n)
+    ]
+    return run_network_stream(values, roles, machine, tag="pbsn")

@@ -1,0 +1,118 @@
+"""User-facing entry points for GPU-ABiSort.
+
+Most users want :func:`abisort` (sort a ``VALUE_DTYPE`` array) or
+:func:`sort_key_value` (sort plain key/id arrays).  Both accept an
+:class:`ABiSortConfig` selecting the algorithm variant:
+
+>>> import numpy as np
+>>> from repro import abisort, make_values
+>>> rng = np.random.default_rng(0)
+>>> vals = make_values(rng.random(1024, dtype=np.float32))
+>>> out = abisort(vals)
+>>> bool(np.all(out["key"][:-1] <= out["key"][1:]))
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SortInputError
+from repro.core.abisort import GPUABiSorter
+from repro.core.optimized import OptimizedGPUABiSorter
+from repro.core.values import make_values
+from repro.stream.context import StreamMachine
+
+__all__ = ["ABiSortConfig", "abisort", "abisort_any_length", "sort_key_value", "make_sorter"]
+
+
+@dataclass(frozen=True)
+class ABiSortConfig:
+    """Algorithm-variant selection for :func:`abisort`.
+
+    Attributes
+    ----------
+    schedule:
+        ``"overlapped"`` -- O(log^2 n) stream operations (Section 5.4,
+        default); ``"sequential"`` -- the Appendix-A O(log^3 n) program.
+    optimized:
+        Apply the Section-7 optimizations (local sort of 8 + fixed bitonic
+        merge of 16); the paper's benchmarked configuration.  Default True.
+    gpu_semantics:
+        Enforce distinct input/output streams with ping-pong/copy-back
+        (Section 6.1, default) instead of the Brook-style model.
+    validate_levels:
+        Debug: verify every recursion level's invariant on the host.
+    """
+
+    schedule: str = "overlapped"
+    optimized: bool = True
+    gpu_semantics: bool = True
+    validate_levels: bool = False
+
+
+def make_sorter(config: ABiSortConfig | None = None) -> GPUABiSorter:
+    """Instantiate the sorter described by ``config``."""
+    config = config or ABiSortConfig()
+    cls = OptimizedGPUABiSorter if config.optimized else GPUABiSorter
+    return cls(
+        schedule=config.schedule,
+        gpu_semantics=config.gpu_semantics,
+        validate_levels=config.validate_levels,
+    )
+
+
+def abisort(
+    values: np.ndarray, config: ABiSortConfig | None = None
+) -> np.ndarray:
+    """Sort a ``VALUE_DTYPE`` array ascending by (key, id) with GPU-ABiSort.
+
+    Returns a new sorted array.  For access to the stream-operation log of
+    the run (op counts, bytes moved -- the inputs of the hardware cost
+    model), build a sorter with :func:`make_sorter` and use its
+    ``last_machine`` attribute.
+    """
+    return make_sorter(config).sort(values)
+
+
+def abisort_any_length(
+    values: np.ndarray, config: ABiSortConfig | None = None
+) -> np.ndarray:
+    """Sort a value array of *any* length with GPU-ABiSort.
+
+    The paper assumes power-of-two n and names two remedies: padding
+    (Section 4) or pruned bitonic trees (future work there, [BN89]).  This
+    convenience applies the padding remedy: the input is padded with +inf
+    keys to the next power of two, sorted, and truncated.  The amortised
+    overhead is at most 2x work in the worst case (n just above a power of
+    two) and typically far less.
+    """
+    from repro.workloads.records import pad_to_power_of_two
+
+    if values.shape[0] == 0:
+        return values.copy()
+    if values.shape[0] == 1:
+        return values.copy()
+    padded, orig = pad_to_power_of_two(values)
+    return abisort(padded, config)[:orig]
+
+
+def sort_key_value(
+    keys: np.ndarray,
+    ids: np.ndarray | None = None,
+    config: ABiSortConfig | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort plain ``keys`` (with optional ``ids``) and return both, sorted.
+
+    ``ids`` defaults to the original positions, which also makes the sort
+    stable with respect to the input order (the paper's distinctness
+    device).  Returns ``(sorted_keys, sorted_ids)``; ``sorted_ids`` is the
+    permutation that can be used to reorder an associated record array.
+    """
+    vals = make_values(np.asarray(keys), ids)
+    if vals.shape[0] == 0:
+        raise SortInputError("cannot sort an empty sequence")
+    out = abisort(vals, config)
+    return out["key"].copy(), out["id"].copy()

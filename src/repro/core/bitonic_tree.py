@@ -1,0 +1,212 @@
+"""Bitonic trees in in-order array layout.
+
+A *bitonic tree* (Section 4.1) stores a bitonic sequence of length ``m``
+(a power of two) as a fully balanced binary search tree of ``m - 1`` nodes
+whose **in-order traversal** yields the subsequence ``(a_0, ..., a_{m-2})``,
+plus a separately held *spare* node for ``a_{m-1}``.  Its purpose: a whole
+subtree (``2^k - 1`` elements) can be exchanged with another by a single
+pointer swap, which is what makes the adaptive min/max determination run in
+``O(log m)`` operations instead of ``O(m)``.
+
+GPU-ABiSort keeps the nodes of all its trees in a stream, stored *in order*:
+the tree covering stream slots ``[base, base + m)`` has its ``r``-th in-order
+element at slot ``base + r``, its root at slot ``base + m/2 - 1`` and its
+spare at slot ``base + m - 1``.  With that layout the child indexes follow
+from bit arithmetic on the slot index alone (paper Listing 2)::
+
+    left(i)  = i - ((i + 1) & ~i) / 2
+    right(i) = i + ((i + 1) & ~i) / 2
+
+where ``(i + 1) & ~i`` isolates the lowest set bit of ``i + 1``.  The formula
+is valid for any tree block whose base is a multiple of its size, because the
+low ``log2(m)`` bits of a slot index then coincide with the in-order position
+within the block.  Leaves receive ``left == right == i``; their child fields
+are never used (the paper: "for leaf and spare nodes, these indexes are not
+used and can be set to arbitrary values").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SortInputError
+from repro.stream.stream import NODE_DTYPE, VALUE_DTYPE
+
+__all__ = [
+    "is_power_of_two",
+    "build_inorder_links",
+    "root_slot",
+    "spare_slot",
+    "inorder_positions_by_level",
+    "levels_of_inorder_positions",
+    "inorder_of_complete_tree",
+    "build_tree_nodes",
+    "tree_values_inorder",
+    "validate_inorder_tree",
+]
+
+
+def is_power_of_two(x: int) -> bool:
+    """True for 1, 2, 4, 8, ..."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def build_inorder_links(base: int, size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Child indexes for slots ``[base, base + size)`` of an in-order tree.
+
+    ``base`` must be a multiple of ``size`` and ``size`` a power of two (the
+    alignment condition under which the bit trick is exact).  Returns
+    ``(left, right)`` arrays of absolute slot indexes.  The result is equally
+    valid when the block is interpreted as several adjacent aligned trees of
+    a smaller power-of-two size, because spare slots (whose links would cross
+    tree boundaries) are never dereferenced -- this is why Listing 2 can
+    initialise the whole input half of the node stream "as if the stream
+    represents a single large balanced tree".
+    """
+    if not is_power_of_two(size):
+        raise SortInputError(f"tree block size {size} is not a power of two")
+    if base % size != 0:
+        raise SortInputError(
+            f"tree block base {base} is not aligned to its size {size}"
+        )
+    i = np.arange(base, base + size, dtype=np.int64)
+    half = ((i + 1) & ~i) // 2
+    return i - half, i + half
+
+
+def root_slot(base: int, size: int) -> int:
+    """Slot of the root of the in-order tree at ``[base, base + size)``."""
+    return base + size // 2 - 1
+
+
+def spare_slot(base: int, size: int) -> int:
+    """Slot of the spare node of the in-order tree at ``[base, base + size)``."""
+    return base + size - 1
+
+
+def levels_of_inorder_positions(levels: int) -> np.ndarray:
+    """Tree level (0 = root) of each in-order position of a complete tree.
+
+    For a tree of ``levels`` levels (``2**levels - 1`` nodes) plus the spare
+    in the final slot, position ``t`` holds the node of level
+    ``levels - 1 - trailing_zeros(t + 1)``; the last slot (``t = 2**levels -
+    1``) is the spare, marked ``-1``.  This is the "ruler sequence" visible
+    in the paper's Figures 4-6 (e.g. stage 2 phase 0 writes levels
+    ``2,1,2,0,2,1,2,s``... read off pairwise as ``21 20 21 2s``).
+    """
+    size = 1 << levels
+    t = np.arange(size, dtype=np.int64)
+    tz = np.zeros(size, dtype=np.int64)
+    v = t + 1
+    # trailing_zeros via bit stripping (vectorised, log iterations)
+    for shift in (32, 16, 8, 4, 2, 1):
+        mask = (v & ((1 << shift) - 1)) == 0
+        tz[mask] += shift
+        v = np.where(mask, v >> shift, v)
+    out = levels - 1 - tz
+    out[-1] = -1  # spare
+    return out
+
+
+def inorder_positions_by_level(levels: int) -> list[np.ndarray]:
+    """In-order slots of each level of a complete tree of ``levels`` levels.
+
+    ``result[d]`` holds the slots (within ``[0, 2**levels - 1)``) of the
+    ``2**d`` nodes of depth ``d``, left to right: depth-``d`` node ``r`` sits
+    at in-order slot ``r * 2**(levels-d) + 2**(levels-d-1) - 1``.
+    """
+    out = []
+    for d in range(levels):
+        stride = 1 << (levels - d)
+        r = np.arange(1 << d, dtype=np.int64)
+        out.append(r * stride + stride // 2 - 1)
+    return out
+
+
+def inorder_of_complete_tree(levels: int) -> np.ndarray:
+    """Permutation mapping (level-order rank) -> (in-order slot).
+
+    Level-order rank enumerates the complete tree breadth-first (root = 0).
+    Used by the traversal kernel, which gathers the 15-node subtrees level by
+    level and must place them in in-order sequence order.
+    """
+    slots = np.empty((1 << levels) - 1, dtype=np.int64)
+    rank = 0
+    for level_slots in inorder_positions_by_level(levels):
+        slots[rank : rank + level_slots.shape[0]] = level_slots
+        rank += level_slots.shape[0]
+    return slots
+
+
+def build_tree_nodes(values: np.ndarray, base: int = 0) -> np.ndarray:
+    """Build the in-order node block for a sequence of values.
+
+    ``values`` (``VALUE_DTYPE``, power-of-two length ``m``) become the node
+    block of one bitonic tree: node ``r`` carries ``values[r]`` with in-order
+    child links computed for absolute base slot ``base`` (the final slot is
+    the spare).  The *sequence* is interpreted as the in-order traversal,
+    which is how Listing 2 seeds the second half of the node stream.
+    """
+    if values.dtype != VALUE_DTYPE:
+        raise SortInputError(f"expected VALUE_DTYPE values, got {values.dtype}")
+    m = values.shape[0]
+    nodes = np.zeros(m, dtype=NODE_DTYPE)
+    nodes["key"] = values["key"]
+    nodes["id"] = values["id"]
+    left, right = build_inorder_links(base, m)
+    nodes["left"] = left
+    nodes["right"] = right
+    return nodes
+
+
+def tree_values_inorder(
+    nodes: np.ndarray, root: int, levels: int, spare_value: np.ndarray
+) -> np.ndarray:
+    """Read a linked bitonic tree back into sequence order (for validation).
+
+    Follows the (possibly swapped) child pointers from ``root`` through a
+    complete tree of ``levels`` levels and returns the in-order value
+    sequence with the spare appended -- the "(finally, the in-order traversal
+    of the whole bitonic tree results in the monotonic ascending sequence)"
+    step of Section 4.1.  Iterative and explicit-stack so deep trees do not
+    hit the Python recursion limit.
+    """
+    out = np.empty((1 << levels), dtype=VALUE_DTYPE)
+    pos = 0
+    # Explicit-stack in-order walk over (node index, levels below incl. self).
+    # `lv == 1` marks a leaf: its child links are arbitrary and never read.
+    stack: list[tuple[int, int, bool]] = [(int(root), levels, False)]
+    while stack:
+        nidx, lv, emit = stack.pop()
+        if emit or lv == 1:
+            out[pos]["key"] = nodes["key"][nidx]
+            out[pos]["id"] = nodes["id"][nidx]
+            pos += 1
+            continue
+        stack.append((int(nodes["right"][nidx]), lv - 1, False))
+        stack.append((nidx, lv, True))
+        stack.append((int(nodes["left"][nidx]), lv - 1, False))
+    if pos != (1 << levels) - 1:
+        raise SortInputError(
+            f"in-order traversal visited {pos} nodes, expected {(1 << levels) - 1}"
+        )
+    out[-1] = spare_value
+    return out
+
+
+def validate_inorder_tree(nodes: np.ndarray, base: int, size: int) -> None:
+    """Check that a node block carries consistent in-order links.
+
+    Raises :class:`SortInputError` on any link that deviates from the
+    canonical in-order layout (used on freshly built tree blocks; after a
+    merge the links are intentionally data-dependent and this check does not
+    apply).
+    """
+    left, right = build_inorder_links(base, size)
+    block = nodes[base : base + size]
+    internal = np.ones(size, dtype=bool)
+    internal[-1] = False  # spare: links unused
+    if not np.array_equal(block["left"][internal], left[internal]):
+        raise SortInputError("tree block left links deviate from in-order layout")
+    if not np.array_equal(block["right"][internal], right[internal]):
+        raise SortInputError("tree block right links deviate from in-order layout")

@@ -1,0 +1,306 @@
+"""Sequential adaptive bitonic sorting -- the reference implementation.
+
+This module implements Bilardi & Nicolau's adaptive bitonic sorting exactly
+as recapped in Section 4 of the paper, on linked bitonic trees:
+
+* :func:`adaptive_minmax_classic` -- the *classic* adaptive min/max
+  determination with its case distinction (a)/(b) (Section 4.1),
+* :func:`adaptive_minmax_simplified` -- the paper's *simplified* variant
+  (Section 4.2), which pre-swaps the root's sons in phase 0 and thereby
+  removes the case distinction ("in comparison ... only a single pointer
+  exchange was added"),
+* :func:`adaptive_bitonic_merge` -- the recursive adaptive bitonic merge
+  (O(m) sequential work for a bitonic sequence of length m),
+* :func:`adaptive_bitonic_sort_sequence` -- the full merge sort
+  (O(n log n) sequential work).
+
+Everything here trades speed for clarity: it uses linked Python node objects
+and recursion, serves as the oracle for the stream implementation, and
+carries operation counters used to verify the complexity claims (total
+comparisons of the sort < 2 n log n; merge comparisons of one level total
+``2 m - log2 m - 2`` for data-independent counts -- see
+``tests/core/test_sequential.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SortInputError
+from repro.core.bitonic_tree import is_power_of_two
+
+__all__ = [
+    "Node",
+    "SequentialCounters",
+    "build_singleton_trees",
+    "join_trees",
+    "adaptive_minmax_classic",
+    "adaptive_minmax_simplified",
+    "adaptive_bitonic_merge",
+    "adaptive_bitonic_merge_sequence",
+    "adaptive_bitonic_sort_sequence",
+    "tree_to_sequence",
+]
+
+
+class Node:
+    """A linked bitonic-tree node: a (key, id) value plus two child links."""
+
+    __slots__ = ("key", "id", "left", "right")
+
+    def __init__(self, key: float, id_: int, left: "Node | None" = None,
+                 right: "Node | None" = None):
+        self.key = key
+        self.id = id_
+        self.left = left
+        self.right = right
+
+    def value(self) -> tuple[float, int]:
+        """The node payload as a comparable (key, id) tuple."""
+        return (self.key, self.id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node(key={self.key}, id={self.id})"
+
+
+@dataclass
+class SequentialCounters:
+    """Operation counts of the sequential algorithm."""
+
+    comparisons: int = 0
+    value_swaps: int = 0
+    pointer_swaps: int = 0
+
+    def greater(self, a: Node, b: Node) -> bool:
+        """The paper's ``operator>`` with the id as secondary key."""
+        self.comparisons += 1
+        return (a.key, a.id) > (b.key, b.id)
+
+    def swap_values(self, a: Node, b: Node) -> None:
+        """Exchange the payloads of two nodes (counted)."""
+        self.value_swaps += 1
+        a.key, b.key = b.key, a.key
+        a.id, b.id = b.id, a.id
+
+
+@dataclass
+class _Tree:
+    """A bitonic tree handle: root subtree + spare node + sequence length."""
+
+    root: Node | None  # None for length-1 trees (value lives in spare)
+    spare: Node
+    length: int
+
+
+def build_singleton_trees(values: Iterable[tuple[float, int]]) -> list[_Tree]:
+    """One length-1 tree per input element (merge-sort leaves)."""
+    return [_Tree(None, Node(k, i), 1) for k, i in values]
+
+
+def join_trees(t1: _Tree, t2: _Tree) -> _Tree:
+    """Concatenate two trees of equal length into one bitonic tree.
+
+    If ``t1`` holds a sequence sorted one way and ``t2`` the other way, the
+    concatenation is bitonic.  Structurally, ``t1``'s spare becomes the new
+    root (it carries the sequence element at position ``m/2 - 1``) with
+    ``t1.root``/``t2.root`` as sons, and ``t2``'s spare the new spare --
+    no data movement at all.
+    """
+    if t1.length != t2.length:
+        raise SortInputError("can only join trees of equal length")
+    new_root = t1.spare
+    new_root.left = t1.root
+    new_root.right = t2.root
+    return _Tree(new_root, t2.spare, t1.length * 2)
+
+
+def adaptive_minmax_classic(
+    root: Node, spare: Node, levels: int, descending: bool,
+    counters: SequentialCounters,
+) -> None:
+    """Classic adaptive min/max determination (Section 4.1).
+
+    Phase 0 distinguishes case (a) ``root < spare`` from case (b)
+    ``root > spare``; in case (b) root/spare values are exchanged.  Phases
+    ``i = 1 .. levels-1`` then walk down one path, exchanging values and the
+    *left* sons in case (a) / the *right* sons in case (b) whenever
+    ``p > q``, and descend left or right according to the case/comparison
+    combination given in the paper.
+
+    ``levels`` is ``log2`` of the (sub)sequence length; ``descending``
+    inverts every comparison, which realises the opposite sorting direction.
+    """
+    case_b = counters.greater(root, spare) != descending
+    if case_b:
+        counters.swap_values(root, spare)
+    if levels <= 1:
+        return
+    p, q = root.left, root.right
+    for _i in range(1, levels):
+        cond = counters.greater(p, q) != descending  # (**)
+        if cond:
+            counters.swap_values(p, q)
+            counters.pointer_swaps += 1
+            if not case_b:
+                p.left, q.left = q.left, p.left
+            else:
+                p.right, q.right = q.right, p.right
+        # Descend: left sons iff (a) and not cond, or (b) and cond.
+        go_left = (not case_b and not cond) or (case_b and cond)
+        if go_left:
+            p, q = p.left, q.left
+        else:
+            p, q = p.right, q.right
+
+
+def adaptive_minmax_simplified(
+    root: Node, spare: Node, levels: int, descending: bool,
+    counters: SequentialCounters,
+) -> None:
+    """Simplified adaptive min/max determination (Section 4.2).
+
+    Exchanging the root's two sons along with the root/spare values in phase
+    0 reduces case (b) to case (a): afterwards every phase exchanges values
+    and *left* sons on ``p > q`` and always descends right on a swap, left
+    otherwise.  This is the variant the stream kernels implement.
+    """
+    if counters.greater(root, spare) != descending:
+        counters.swap_values(root, spare)
+        counters.pointer_swaps += 1
+        root.left, root.right = root.right, root.left
+    if levels <= 1:
+        return
+    p, q = root.left, root.right
+    for _i in range(1, levels):
+        if counters.greater(p, q) != descending:
+            counters.swap_values(p, q)
+            counters.pointer_swaps += 1
+            p.left, q.left = q.left, p.left
+            p, q = p.right, q.right
+        else:
+            p, q = p.left, q.left
+
+
+def adaptive_bitonic_merge(
+    root: Node | None, spare: Node, levels: int, descending: bool,
+    counters: SequentialCounters, variant: str = "simplified",
+) -> None:
+    """Adaptive bitonic merge of a bitonic tree (Section 4.1, recursion).
+
+    Runs the adaptive min/max determination on ``(root, spare)``, then
+    recurses on ``(root.left, root)`` and ``(root.right, spare)``.  The
+    recursion is expressed with an explicit stack so that sequence lengths
+    up to 2**20 and beyond do not exhaust CPython's recursion limit.
+    """
+    if variant == "simplified":
+        minmax = adaptive_minmax_simplified
+    elif variant == "classic":
+        minmax = adaptive_minmax_classic
+    else:
+        raise SortInputError(f"unknown merge variant {variant!r}")
+    if root is None:  # length-1 sequence: nothing to merge
+        return
+    stack: list[tuple[Node, Node, int]] = [(root, spare, levels)]
+    while stack:
+        r, s, lv = stack.pop()
+        minmax(r, s, lv, descending, counters)
+        if lv > 1:
+            stack.append((r.right, s, lv - 1))
+            stack.append((r.left, r, lv - 1))
+
+
+def tree_to_sequence(tree: _Tree) -> list[tuple[float, int]]:
+    """In-order traversal of the tree plus the spare (the merged sequence)."""
+    out: list[tuple[float, int]] = []
+    levels = tree.length.bit_length() - 1
+    if tree.root is not None:
+        stack: list[tuple[Node, int, bool]] = [(tree.root, levels, False)]
+        while stack:
+            node, lv, emit = stack.pop()
+            if emit or lv == 1:
+                out.append(node.value())
+                continue
+            stack.append((node.right, lv - 1, False))
+            stack.append((node, lv, True))
+            stack.append((node.left, lv - 1, False))
+    out.append(tree.spare.value())
+    return out
+
+
+def _sequence_to_tree(values: Sequence[tuple[float, int]]) -> _Tree:
+    """Build a bitonic tree whose in-order traversal equals ``values``."""
+    m = len(values)
+    if not is_power_of_two(m):
+        raise SortInputError(f"sequence length {m} is not a power of two")
+    spare = Node(values[-1][0], values[-1][1])
+    if m == 1:
+        return _Tree(None, spare, 1)
+
+    def build(lo: int, hi: int) -> Node:
+        mid = (lo + hi) // 2
+        node = Node(values[mid][0], values[mid][1])
+        if mid > lo:
+            node.left = build(lo, mid - 1)
+            node.right = build(mid + 1, hi)
+        return node
+
+    root = build(0, m - 2)
+    return _Tree(root, spare, m)
+
+
+def adaptive_bitonic_merge_sequence(
+    values: Sequence[tuple[float, int]], descending: bool = False,
+    counters: SequentialCounters | None = None, variant: str = "simplified",
+) -> list[tuple[float, int]]:
+    """Merge a *bitonic* sequence into sorted order via the bitonic tree.
+
+    Convenience wrapper: builds the tree, merges, traverses.  The input must
+    be bitonic (e.g. an ascending run followed by a descending run) for the
+    output to be sorted; this precondition is the caller's (tested with
+    Hypothesis in ``tests/core/test_sequential.py``).
+    """
+    counters = counters if counters is not None else SequentialCounters()
+    tree = _sequence_to_tree(list(values))
+    levels = tree.length.bit_length() - 1
+    adaptive_bitonic_merge(tree.root, tree.spare, levels, descending,
+                           counters, variant)
+    return tree_to_sequence(tree)
+
+
+def adaptive_bitonic_sort_sequence(
+    values: Iterable[tuple[float, int]],
+    counters: SequentialCounters | None = None,
+    variant: str = "simplified",
+) -> list[tuple[float, int]]:
+    """Sequential adaptive bitonic sort (Section 4, O(n log n)).
+
+    Classic recursive merge-sort scheme: on recursion level ``j`` the
+    ``2**(log n - j)`` sorted runs of length ``2**(j-1)`` are joined pairwise
+    into bitonic trees (zero-cost, :func:`join_trees`) and merged with
+    alternating directions, so that the next level again sees
+    opposite-sorted neighbours.  The final merge ascends.
+    """
+    counters = counters if counters is not None else SequentialCounters()
+    trees = build_singleton_trees(values)
+    n = len(trees)
+    if n == 0:
+        return []
+    if not is_power_of_two(n):
+        raise SortInputError(
+            f"input length {n} is not a power of two; pad first "
+            f"(paper Section 4 assumes power-of-two input)"
+        )
+    while len(trees) > 1:
+        merged: list[_Tree] = []
+        levels = (trees[0].length * 2).bit_length() - 1
+        for t in range(0, len(trees), 2):
+            tree = join_trees(trees[t], trees[t + 1])
+            descending = bool((t // 2) & 1)
+            adaptive_bitonic_merge(tree.root, tree.spare, levels, descending,
+                                   counters, variant)
+            merged.append(tree)
+        trees = merged
+    return tree_to_sequence(trees[0])

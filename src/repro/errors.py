@@ -1,0 +1,65 @@
+"""Exception hierarchy for the GPU-ABiSort reproduction.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError` so that a
+caller embedding the library can catch one base class.  The subclasses mirror
+the layers of the system:
+
+* :class:`StreamError` -- violations of the stream programming model enforced
+  by the simulated stream machine (:mod:`repro.stream`), e.g. scattering from
+  a kernel, overlapping substream blocks, or using the same stream as kernel
+  input and output on hardware that forbids it.
+* :class:`LayoutError` -- an inconsistent substream plan (Table 1 of the
+  paper) or an invalid stage/phase/step request.
+* :class:`SortInputError` -- invalid sorter input (non power-of-two length
+  without padding, duplicate ids, dtype mismatch).
+* :class:`ModelError` -- invalid hardware-model configuration in
+  :mod:`repro.stream.gpu_model` or :mod:`repro.stream.cache`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class StreamError(ReproError):
+    """A stream-programming-model constraint was violated.
+
+    The paper's target architecture (Section 3.2) is "a stream processor with
+    the ability to gather but without the ability to scatter"; kernels may
+    only write linearly into their output substream and, on GPUs, input and
+    output streams must be distinct (Section 6.1).  The stream machine raises
+    this error whenever simulated code breaks one of those rules, because a
+    real stream program with the same structure could not exist.
+    """
+
+
+class SubstreamError(StreamError):
+    """An invalid substream definition (out of range or overlapping blocks)."""
+
+
+class KernelError(StreamError):
+    """A kernel declaration or invocation is malformed.
+
+    Examples: mismatched input stream lengths, an output substream whose
+    capacity does not match the number of kernel instances times the per
+    instance push count, or a gather access outside stream bounds.
+    """
+
+
+class LayoutError(ReproError):
+    """The substream plan (paper Table 1 / Section 5.3) was violated."""
+
+
+class SortInputError(ReproError):
+    """The sorter was given input it cannot handle.
+
+    GPU-ABiSort, like the GPU sorting-network implementations it is compared
+    against, requires power-of-two sequence lengths (paper Sections 4 and 9);
+    use :func:`repro.workloads.records.pad_to_power_of_two` to pad.
+    """
+
+
+class ModelError(ReproError):
+    """An invalid hardware model or cost-model configuration."""

@@ -1,0 +1,38 @@
+"""Hybrid CPU/GPU out-of-core sorting -- the GPUTeraSort-style pipeline.
+
+Section 2.2 of the paper describes how Govindaraju et al. [GGKM05] embedded
+GPU-based bitonic sorting "into a hybrid CPU/GPU sorting approach which is
+capable of processing large out-of-core databases and wide sort keys",
+via a key-generator stage and a reorder stage on the CPU plus reader/writer
+stages against disk -- and remarks that "this technique should also be
+transferable to alternative GPU-based sorting approaches".
+
+This subpackage performs that transfer onto GPU-ABiSort:
+
+* :mod:`repro.hybrid.disk` -- a simulated block device with seek/bandwidth
+  accounting (the paper's DMA reader/writer stages).
+* :mod:`repro.hybrid.keygen` -- the key-generator stage: order-preserving
+  encodings of wide (uint64 / bytes) sort keys into the 32-bit float
+  partial keys the GPU sorter consumes, plus tie-group refinement.
+* :mod:`repro.hybrid.external` -- the out-of-core sorter: run formation
+  with GPU-ABiSort over in-core chunks, then a k-way loser-tree merge
+  (the CPU stage), with end-to-end operation accounting.
+"""
+
+from repro.hybrid.disk import DiskStats, SimulatedDisk
+from repro.hybrid.external import ExternalSortReport, ExternalSorter
+from repro.hybrid.keygen import (
+    encode_high_word,
+    refine_tie_groups,
+    sort_wide_keys,
+)
+
+__all__ = [
+    "DiskStats",
+    "SimulatedDisk",
+    "ExternalSorter",
+    "ExternalSortReport",
+    "encode_high_word",
+    "refine_tie_groups",
+    "sort_wide_keys",
+]

@@ -1,0 +1,79 @@
+"""Simulated stream architecture (the paper's target machine).
+
+The paper (Sections 3 and 5.2) targets "a stream processor with the ability
+to gather but without the ability to scatter".  This subpackage implements
+that machine in software:
+
+* :mod:`repro.stream.stream` -- typed 1D streams over NumPy storage and
+  substreams made of one or more non-overlapping contiguous blocks.
+* :mod:`repro.stream.iterator` -- iterator streams (linear index generators
+  realized by the hardware's iterator unit, i.e. free of memory traffic).
+* :mod:`repro.stream.kernel` -- the kernel invocation machinery: linear
+  stream reads/writes, gather streams, push/read accounting, and the
+  no-scatter rule.
+* :mod:`repro.stream.context` -- :class:`~repro.stream.context.StreamMachine`,
+  which allocates streams, executes stream operations, and keeps the
+  operation log used for complexity checks and the hardware cost model.
+* :mod:`repro.stream.mapping2d` -- row-wise and Z-order (Morton) 1D<->2D
+  mappings of Section 6.2 and block-shape analysis.
+* :mod:`repro.stream.cache` -- 2D texture-cache simulation and the analytic
+  read-efficiency estimator derived from it.
+* :mod:`repro.stream.gpu_model` -- parametric GPU/host hardware models
+  (GeForce 6800 AGP and GeForce 7800 GTX PCIe presets) converting counted
+  stream work into modeled milliseconds.
+"""
+
+from repro.stream.stream import (
+    NODE_DTYPE,
+    PQ_DTYPE,
+    VALUE_DTYPE,
+    Stream,
+    Substream,
+    make_nodes,
+    make_values,
+)
+from repro.stream.iterator import IteratorStream
+from repro.stream.kernel import KernelContext
+from repro.stream.context import StreamMachine, StreamOpRecord
+from repro.stream.mapping2d import Mapping2D, RowWiseMapping, ZOrderMapping
+from repro.stream.cache import CacheConfig, TextureCacheSim, block_read_efficiency
+from repro.stream.gpu_model import (
+    GEFORCE_6800_ULTRA,
+    GEFORCE_7800_GTX,
+    AGP_SYSTEM,
+    PCIE_SYSTEM,
+    CostBreakdown,
+    GPUModel,
+    HostSystem,
+    estimate_gpu_time_ms,
+    transfer_round_trip_ms,
+)
+
+__all__ = [
+    "NODE_DTYPE",
+    "PQ_DTYPE",
+    "VALUE_DTYPE",
+    "Stream",
+    "Substream",
+    "make_nodes",
+    "make_values",
+    "IteratorStream",
+    "KernelContext",
+    "StreamMachine",
+    "StreamOpRecord",
+    "Mapping2D",
+    "RowWiseMapping",
+    "ZOrderMapping",
+    "CacheConfig",
+    "TextureCacheSim",
+    "block_read_efficiency",
+    "GEFORCE_6800_ULTRA",
+    "GEFORCE_7800_GTX",
+    "AGP_SYSTEM",
+    "PCIE_SYSTEM",
+    "CostBreakdown",
+    "GPUModel",
+    "HostSystem",
+    "estimate_gpu_time_ms",
+    "transfer_round_trip_ms",
+]

@@ -1,0 +1,60 @@
+"""Iterator streams.
+
+The paper's phase-``i > 0`` kernel (Listing 4) determines in advance where
+the *next* phase will write its output, so that child pointers can be updated
+before the children are actually moved.  It does this with "a so-called
+iterator stream, which is a read-only stream containing a linear ascending
+sequence of indexes.  For such an iterator stream, the hardware can realize
+the ``read_from_stream`` command using the iterator unit only, i.e. without
+memory lookups."
+
+Accordingly :class:`IteratorStream` generates its values on the fly and the
+stream machine (:mod:`repro.stream.context`) accounts zero memory traffic for
+reads from it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class IteratorStream:
+    """A read-only stream of consecutive integer indexes ``[start, stop)``.
+
+    Mirrors the paper's ``iter_stream<index_t>(a .. b)`` notation, with the
+    usual Python exclusive upper bound.  The iterator can also be built over
+    multiple index ranges, which the overlapped schedule (Section 5.4) needs
+    when one stream operation writes several memory blocks: the destination
+    indexes are then the concatenation of the per-block ranges.
+    """
+
+    __slots__ = ("ranges",)
+
+    def __init__(self, start: int, stop: int):
+        if stop < start:
+            raise ValueError(f"iterator range [{start}, {stop}) is negative")
+        self.ranges: list[tuple[int, int]] = [(int(start), int(stop))]
+
+    @classmethod
+    def from_ranges(cls, ranges: list[tuple[int, int]]) -> "IteratorStream":
+        """Iterator over the concatenation of several index ranges."""
+        if not ranges:
+            raise ValueError("iterator must cover at least one range")
+        it = cls(ranges[0][0], ranges[0][1])
+        it.ranges = [(int(a), int(b)) for a, b in ranges]
+        for a, b in it.ranges:
+            if b < a:
+                raise ValueError(f"iterator range [{a}, {b}) is negative")
+        return it
+
+    def __len__(self) -> int:
+        return sum(b - a for a, b in self.ranges)
+
+    def values(self) -> np.ndarray:
+        """Materialise the index sequence (int64)."""
+        return np.concatenate(
+            [np.arange(a, b, dtype=np.int64) for a, b in self.ranges]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IteratorStream({self.ranges})"

@@ -1,0 +1,269 @@
+"""Kernel invocation machinery.
+
+A *kernel* performs the computation of one stream operation: conceptually one
+kernel instance runs per element (or element group) of the invoked substream,
+all in parallel (paper Section 3.1).  Because the instances are independent,
+the simulation executes a kernel as a single NumPy-vectorised function over
+all instances at once -- vectorisation across instances *is* the
+data-parallel semantics, and it also follows the hpc-parallel guideline of
+never looping over elements in Python.
+
+The :class:`KernelContext` object handed to a kernel body exposes exactly the
+access primitives of the paper's pseudo code (Appendix A):
+
+``read(name)``
+    ``read_from_stream`` on an ``in`` stream: each call returns the next
+    element *per instance*.  Two calls on a stream carrying two elements per
+    instance return the interleaved slices ``[0::2]`` and ``[1::2]``, which
+    matches the push order of the producing kernel.
+
+``gather(name, idx)``
+    Random read from a ``gather`` stream (allowed; Section 3.2).
+
+``read_iter(name)``
+    ``read_from_stream`` on an iterator stream (no memory traffic).
+
+``const(name)``
+    Per-instance *static* data precomputed at the stream level (e.g. the
+    sorting direction, which a real kernel derives from ``instance_index``
+    and compile-time constants); free of memory traffic.
+
+``push(name, values)``
+    ``push_onto_stream`` on an ``out`` stream: appends one element per
+    instance.  Successive pushes from one instance land consecutively, and
+    instances write in instance order -- i.e. the machinery interleaves the
+    per-push arrays, exactly like linear stream writes of parallel instances.
+
+There is deliberately **no scatter primitive**: a kernel cannot write to a
+computed address.  Writes happen only when the stream operation completes and
+the accumulated pushes are written linearly into the declared output
+substreams.  Reads and gathers are materialised before any write, which gives
+the Brook-style semantics the paper assumes ("all read accesses initiated by
+a certain kernel program are carried out before any write access by this
+kernel to the same stream", Appendix A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.stream.iterator import IteratorStream
+from repro.stream.stream import Stream, Substream, VALUE_DTYPE
+
+
+@dataclass
+class _InputPort:
+    substream: Substream
+    per_instance: int
+    #: Read only the ``key``/``id`` record fields of a node substream (the
+    #: paper's ``.value`` substream notation, e.g. the spare-value inputs of
+    #: the phase-0 kernel in Listing 5).
+    value_only: bool = False
+    cursor: int = 0
+    data: np.ndarray | None = None  # materialised on first read
+
+
+@dataclass
+class _IterPort:
+    iterator: IteratorStream
+    per_instance: int
+    cursor: int = 0
+    data: np.ndarray | None = None
+
+
+@dataclass
+class _OutputPort:
+    substream: Substream
+    per_instance: int
+    #: Write into record fields ``key``/``id`` only (the paper's ``.value``
+    #: substream notation) instead of whole elements.
+    value_only: bool = False
+    pushes: list[np.ndarray] = field(default_factory=list)
+
+
+@dataclass
+class KernelStats:
+    """Traffic counters for one kernel invocation (one stream operation)."""
+
+    instances: int = 0
+    linear_read_elems: int = 0
+    linear_read_bytes: int = 0
+    linear_write_elems: int = 0
+    linear_write_bytes: int = 0
+    gather_elems: int = 0
+    gather_bytes: int = 0
+
+
+class KernelContext:
+    """Access object handed to a kernel body; see module docstring."""
+
+    def __init__(
+        self,
+        instances: int,
+        inputs: Mapping[str, _InputPort],
+        gathers: Mapping[str, Stream],
+        iterators: Mapping[str, _IterPort],
+        consts: Mapping[str, np.ndarray],
+        outputs: Mapping[str, _OutputPort],
+        stats: KernelStats,
+        gather_trace: list[np.ndarray] | None = None,
+    ):
+        self.instances = instances
+        self._inputs = inputs
+        self._gathers = gathers
+        self._iterators = iterators
+        self._consts = consts
+        self._outputs = outputs
+        self._stats = stats
+        self._gather_trace = gather_trace
+
+    @property
+    def instance_index(self) -> np.ndarray:
+        """``instance_index`` of the paper's pseudo code, for all instances."""
+        return np.arange(self.instances, dtype=np.int64)
+
+    # -- reads ------------------------------------------------------------
+
+    def read(self, name: str) -> np.ndarray:
+        """Read the next element per instance from input stream ``name``."""
+        port = self._inputs.get(name)
+        if port is None:
+            raise KernelError(f"kernel has no input stream {name!r}")
+        if port.cursor >= port.per_instance:
+            raise KernelError(
+                f"input stream {name!r} over-read: {port.per_instance} "
+                f"elements per instance declared"
+            )
+        if port.data is None:
+            raw = port.substream.gather_view()
+            if port.value_only:
+                vals = np.empty(raw.shape[0], dtype=VALUE_DTYPE)
+                vals["key"] = raw["key"]
+                vals["id"] = raw["id"]
+                port.data = vals
+            else:
+                port.data = raw
+        out = port.data[port.cursor :: port.per_instance]
+        port.cursor += 1
+        self._stats.linear_read_elems += self.instances
+        self._stats.linear_read_bytes += self.instances * port.data.dtype.itemsize
+        return out
+
+    def gather(self, name: str, idx: np.ndarray) -> np.ndarray:
+        """Random (gather) read ``stream[idx]``; ``idx`` is per instance."""
+        stream = self._gathers.get(name)
+        if stream is None:
+            raise KernelError(f"kernel has no gather stream {name!r}")
+        idx = np.asarray(idx)
+        if idx.size and (idx.min() < 0 or idx.max() >= len(stream)):
+            raise KernelError(
+                f"gather out of bounds on stream {stream.name!r}: index range "
+                f"[{idx.min()}, {idx.max()}] vs length {len(stream)}"
+            )
+        self._stats.gather_elems += int(idx.size)
+        self._stats.gather_bytes += int(idx.size) * stream.itemsize
+        if self._gather_trace is not None:
+            self._gather_trace.append(idx.astype(np.int64, copy=True).ravel())
+        # Fancy indexing copies: the gather is materialised before any write,
+        # giving the Brook read-before-write semantics.
+        return stream.data[idx]
+
+    def read_iter(self, name: str) -> np.ndarray:
+        """Read the next index per instance from iterator stream ``name``."""
+        port = self._iterators.get(name)
+        if port is None:
+            raise KernelError(f"kernel has no iterator stream {name!r}")
+        if port.cursor >= port.per_instance:
+            raise KernelError(f"iterator stream {name!r} over-read")
+        if port.data is None:
+            port.data = port.iterator.values()
+            if port.data.shape[0] != self.instances * port.per_instance:
+                raise KernelError(
+                    f"iterator stream {name!r} provides {port.data.shape[0]} "
+                    f"indexes for {self.instances} instances x "
+                    f"{port.per_instance} reads"
+                )
+        out = port.data[port.cursor :: port.per_instance]
+        port.cursor += 1
+        # Iterator reads are realised by the iterator unit: no memory traffic.
+        return out
+
+    def const(self, name: str) -> np.ndarray:
+        """Per-instance static (data-independent) values; no memory traffic."""
+        try:
+            return self._consts[name]
+        except KeyError:
+            raise KernelError(f"kernel has no constant {name!r}") from None
+
+    # -- writes -----------------------------------------------------------
+
+    def push(self, name: str, values: np.ndarray) -> None:
+        """``push_onto_stream``: append one element per instance to ``name``."""
+        port = self._outputs.get(name)
+        if port is None:
+            raise KernelError(f"kernel has no output stream {name!r}")
+        values = np.asarray(values)
+        if values.shape[0] != self.instances:
+            raise KernelError(
+                f"push to {name!r} of {values.shape[0]} elements; kernels push "
+                f"exactly one element per instance ({self.instances})"
+            )
+        if len(port.pushes) >= port.per_instance:
+            raise KernelError(
+                f"output stream {name!r} over-pushed: {port.per_instance} "
+                f"elements per instance declared"
+            )
+        port.pushes.append(values)
+
+
+def finalize_kernel(
+    instances: int,
+    inputs: Mapping[str, _InputPort],
+    outputs: Mapping[str, _OutputPort],
+    stats: KernelStats,
+) -> None:
+    """Validate counts and commit all pushes as linear substream writes."""
+    for name, port in inputs.items():
+        if port.cursor != port.per_instance:
+            raise KernelError(
+                f"input stream {name!r}: kernel read {port.cursor} elements "
+                f"per instance, declared {port.per_instance}"
+            )
+    for name, port in outputs.items():
+        if len(port.pushes) != port.per_instance:
+            raise KernelError(
+                f"output stream {name!r}: kernel pushed {len(port.pushes)} "
+                f"elements per instance, declared {port.per_instance}"
+            )
+        if port.per_instance == 1:
+            flat = port.pushes[0]
+        else:
+            # Interleave: instance i's pushes are consecutive in the output,
+            # instances in instance order -- the linear write order of
+            # parallel kernel instances.
+            flat = np.stack(port.pushes, axis=1).reshape(-1)
+        if flat.shape[0] != len(port.substream):
+            raise KernelError(
+                f"output substream {name!r} holds {len(port.substream)} "
+                f"elements but kernel produced {flat.shape[0]}"
+            )
+        if port.value_only:
+            if flat.dtype != VALUE_DTYPE:
+                raise KernelError(
+                    f"value-only output {name!r} requires VALUE_DTYPE pushes"
+                )
+            port.substream.write_field("key", flat["key"])
+            port.substream.write_field("id", flat["id"])
+            written_bytes = flat.shape[0] * VALUE_DTYPE.itemsize
+        else:
+            port.substream.write(flat)
+            written_bytes = flat.shape[0] * port.substream.stream.itemsize
+        stats.linear_write_elems += flat.shape[0]
+        stats.linear_write_bytes += written_bytes
+
+
+KernelBody = Callable[[KernelContext], None]

@@ -1,0 +1,246 @@
+"""Row-wise and Z-order 1D<->2D stream mappings (paper Section 6.2).
+
+GPU streams are 2D arrays with per-dimension size limits, so 1D stream
+contents must be packed into 2D.  The paper studies two packings:
+
+* **Row-wise** (Section 6.2.1): 1D index ``a`` maps to
+  ``(a mod w, a div w)`` for stream width ``w`` (a power of two).  Because
+  every substream block in the algorithm's memory layout (Table 1) has a
+  power-of-two length ``l`` starting at a multiple of ``l``, each block maps
+  either to a piece of one row (``l <= w``) or to ``l/w`` complete rows.
+
+* **Z-order / Morton** (Section 6.2.2): the 1D index's even bits become the
+  x coordinate and the odd bits the y coordinate.  The paper proves three
+  propositions (verified in the test suite):
+
+  1. index ``2a`` maps to ``(2*ay, ax)`` where ``a`` maps to ``(ax, ay)``;
+  2. for any power of two ``s`` and any ``a < s``, ``s + a`` maps to
+     ``(sx + ax, sy + ay)``;
+  3. for a power of two ``l``, ``l' = l - 1`` maps to ``(lx', ly')`` with
+     ``(lx'+1)(ly'+1) = l`` and the block square or exactly 2:1.
+
+  Consequently every Table-1 block maps to a contiguous square or 2:1
+  rectangle -- the cache-oblivious property that makes Z-order the faster
+  mapping in the paper's Table 2.
+
+The mapping objects also report the 2D *footprint* of a 1D block
+(:meth:`Mapping2D.block_rects`), which feeds the texture-cache efficiency
+model in :mod:`repro.stream.cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+# -- Morton / Z-order bit manipulation ---------------------------------------
+#
+# Classic "part / compact" bit tricks, vectorised over uint64 arrays.  GPUs of
+# the paper's era lacked integer bit ops, which is why the paper carries 2D
+# indexes through the kernels; in the simulation we can afford to compute the
+# mapping directly.
+
+
+def part1by1(x: np.ndarray | int) -> np.ndarray | int:
+    """Spread the lower 32 bits of ``x``: bit i of x moves to bit 2i."""
+    x = np.uint64(x) if np.isscalar(x) else x.astype(np.uint64)
+    x &= np.uint64(0x00000000FFFFFFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x3333333333333333)
+    x = (x | (x << np.uint64(1))) & np.uint64(0x5555555555555555)
+    return x
+
+
+def compact1by1(x: np.ndarray | int) -> np.ndarray | int:
+    """Inverse of :func:`part1by1`: gather the even bits of ``x``."""
+    x = np.uint64(x) if np.isscalar(x) else x.astype(np.uint64)
+    x &= np.uint64(0x5555555555555555)
+    x = (x | (x >> np.uint64(1))) & np.uint64(0x3333333333333333)
+    x = (x | (x >> np.uint64(2))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    x = (x | (x >> np.uint64(4))) & np.uint64(0x00FF00FF00FF00FF)
+    x = (x | (x >> np.uint64(8))) & np.uint64(0x0000FFFF0000FFFF)
+    x = (x | (x >> np.uint64(16))) & np.uint64(0x00000000FFFFFFFF)
+    return x
+
+
+def morton_encode(ax: np.ndarray | int, ay: np.ndarray | int) -> np.ndarray | int:
+    """2D -> 1D Z-order index: interleave x into even bits, y into odd bits."""
+    return part1by1(ax) | (part1by1(ay) << np.uint64(1))
+
+
+def morton_decode(a: np.ndarray | int) -> tuple:
+    """1D -> 2D Z-order index ``(ax, ay)``.
+
+    ``ax`` has the even-position bits ``(a30, ..., a2, a0)`` and ``ay`` the
+    odd-position bits ``(a31, ..., a3, a1)``, exactly the paper's definition.
+    """
+    a = np.uint64(a) if np.isscalar(a) else np.asarray(a).astype(np.uint64)
+    return compact1by1(a), compact1by1(a >> np.uint64(1))
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle of 2D stream elements (inclusive sizes)."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+
+    @property
+    def area(self) -> int:
+        """Elements covered by the rectangle."""
+        return self.w * self.h
+
+    @property
+    def aspect(self) -> float:
+        """Long side over short side (1.0 for a square)."""
+        return max(self.w, self.h) / min(self.w, self.h)
+
+
+class Mapping2D:
+    """Base class: a 1D->2D packing of stream element addresses."""
+
+    name: str = "abstract"
+
+    def to_2d(self, a: np.ndarray | int) -> tuple:
+        """Map 1D stream addresses to 2D coordinates ``(ax, ay)``."""
+        raise NotImplementedError
+
+    def from_2d(self, ax: np.ndarray | int, ay: np.ndarray | int):
+        """Inverse of :meth:`to_2d`."""
+        raise NotImplementedError
+
+    def block_rects(self, start: int, length: int) -> list[Rect]:
+        """2D footprint of the contiguous 1D block ``[start, start+length)``.
+
+        For the aligned power-of-two blocks of the algorithm's memory layout
+        the footprint is a single rectangle; for general blocks it may be a
+        list of rectangles.
+        """
+        raise NotImplementedError
+
+
+class RowWiseMapping(Mapping2D):
+    """Section 6.2.1: ``a -> (a mod w, a div w)`` with power-of-two width."""
+
+    name = "row-wise"
+
+    def __init__(self, width: int):
+        if not _is_pow2(width):
+            raise ModelError(f"2D stream width must be a power of two, got {width}")
+        self.width = int(width)
+
+    def to_2d(self, a):
+        """``a -> (a mod w, a div w)``."""
+        a = np.asarray(a, dtype=np.int64) if not np.isscalar(a) else int(a)
+        return a % self.width, a // self.width
+
+    def from_2d(self, ax, ay):
+        """``(ax, ay) -> ay * w + ax``."""
+        if np.isscalar(ax):
+            return int(ay) * self.width + int(ax)
+        return np.asarray(ay, dtype=np.int64) * self.width + np.asarray(
+            ax, dtype=np.int64
+        )
+
+    def block_rects(self, start: int, length: int) -> list[Rect]:
+        """Row strips / full-line rectangles of the block (Section 6.2.1)."""
+        w = self.width
+        rects: list[Rect] = []
+        a = int(start)
+        remaining = int(length)
+        while remaining > 0:
+            x = a % w
+            y = a // w
+            span = min(remaining, w - x)
+            # Coalesce full rows into one rectangle.
+            if x == 0 and remaining >= w:
+                rows = remaining // w
+                rects.append(Rect(0, y, w, rows))
+                a += rows * w
+                remaining -= rows * w
+            else:
+                rects.append(Rect(x, y, span, 1))
+                a += span
+                remaining -= span
+        return rects
+
+
+class ZOrderMapping(Mapping2D):
+    """Section 6.2.2: Z-order / Morton packing (cache-oblivious)."""
+
+    name = "z-order"
+
+    def to_2d(self, a):
+        """Morton deinterleave: even bits -> x, odd bits -> y."""
+        return morton_decode(a)
+
+    def from_2d(self, ax, ay):
+        """Morton interleave of ``(ax, ay)``."""
+        return morton_encode(ax, ay)
+
+    def block_rects(self, start: int, length: int) -> list[Rect]:
+        """Square / 2:1 rectangles of the block (the three propositions)."""
+        start = int(start)
+        length = int(length)
+        if length <= 0:
+            raise ModelError("block length must be positive")
+        if _is_pow2(length) and start % length == 0:
+            # The aligned power-of-two case of the paper's propositions:
+            # a single square or 2:1 rectangle.
+            sx, sy = morton_decode(start)
+            lx, ly = morton_decode(length - 1) if length > 1 else (0, 0)
+            return [Rect(int(sx), int(sy), int(lx) + 1, int(ly) + 1)]
+        # General case: split into maximal aligned power-of-two sub-blocks
+        # (each of which is a rectangle) -- the standard Z-order range
+        # decomposition.
+        rects: list[Rect] = []
+        a = start
+        remaining = length
+        while remaining > 0:
+            max_align = a & -a if a else 1 << 62
+            size = 1
+            while size * 2 <= remaining and size * 2 <= max_align:
+                size *= 2
+            if size > max_align:
+                size = max_align
+            size = min(size, remaining)
+            # Reduce to an aligned power of two.
+            p = 1
+            while p * 2 <= size:
+                p *= 2
+            size = p
+            sx, sy = morton_decode(a)
+            lx, ly = morton_decode(size - 1) if size > 1 else (0, 0)
+            rects.append(Rect(int(sx), int(sy), int(lx) + 1, int(ly) + 1))
+            a += size
+            remaining -= size
+        return rects
+
+
+def assert_layout_block_is_mappable(start: int, length: int, width: int) -> None:
+    """Check the Section 6.2.1 requirement on a layout block.
+
+    For the row-wise mapping to keep substreams rectangular, every block must
+    have power-of-two length and start at a multiple of its length; this
+    holds for the Table-1 layout and is asserted where blocks are generated.
+    """
+    if not _is_pow2(length):
+        raise ModelError(f"layout block length {length} is not a power of two")
+    if start % length != 0:
+        raise ModelError(
+            f"layout block start {start} is not a multiple of its length {length}"
+        )
+    if not _is_pow2(width):
+        raise ModelError(f"stream width {width} is not a power of two")

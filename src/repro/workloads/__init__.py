@@ -1,0 +1,29 @@
+"""Workload generation and verification helpers.
+
+* :mod:`repro.workloads.generators` -- seeded sort-key distributions (the
+  paper's uniform random floats plus standard stress distributions).
+* :mod:`repro.workloads.records` -- value/pointer record workloads
+  (database-style payload tables), padding, and result verification.
+"""
+
+from repro.workloads.generators import (
+    DISTRIBUTIONS,
+    generate_keys,
+    paper_workload,
+)
+from repro.workloads.records import (
+    RecordTable,
+    is_sorted_values,
+    pad_to_power_of_two,
+    verify_sort_output,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "generate_keys",
+    "paper_workload",
+    "RecordTable",
+    "is_sorted_values",
+    "pad_to_power_of_two",
+    "verify_sort_output",
+]

@@ -1,0 +1,100 @@
+"""Sort-key distributions.
+
+The paper benchmarks with "value/pointer pairs with uniformly distributed
+random floating point sort keys" (Section 8); :func:`paper_workload` is
+exactly that.  The further distributions exist because (a) the CPU
+quicksort baseline is data dependent -- its Tables-2/3 time *ranges* come
+from varying inputs -- and (b) a production sorting library must behave on
+presorted, reversed, low-entropy and adversarial inputs, all covered by the
+test suite (GPU-ABiSort's counted work is data independent across all of
+them, which is itself one of the paper's claims and is asserted in
+``tests/analysis/test_complexity.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SortInputError
+from repro.core.values import make_values
+
+__all__ = ["DISTRIBUTIONS", "generate_keys", "paper_workload"]
+
+
+def _uniform(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.random(n, dtype=np.float32)
+
+
+def _gaussian(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.normal(0.0, 1.0, n).astype(np.float32)
+
+
+def _sorted(rng: np.random.Generator, n: int) -> np.ndarray:
+    return np.sort(rng.random(n, dtype=np.float32))
+
+
+def _reverse_sorted(rng: np.random.Generator, n: int) -> np.ndarray:
+    return np.sort(rng.random(n, dtype=np.float32))[::-1].copy()
+
+
+def _nearly_sorted(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Sorted keys with ~5% random transpositions (partial presortedness)."""
+    keys = np.sort(rng.random(n, dtype=np.float32))
+    swaps = max(1, n // 20)
+    a = rng.integers(0, n, swaps)
+    b = rng.integers(0, n, swaps)
+    keys[a], keys[b] = keys[b].copy(), keys[a].copy()
+    return keys
+
+
+def _few_distinct(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Only 8 distinct key values (heavy duplicates; ids break ties)."""
+    return rng.integers(0, 8, n).astype(np.float32)
+
+
+def _all_equal(rng: np.random.Generator, n: int) -> np.ndarray:
+    """One key value: ordering decided entirely by the secondary key."""
+    return np.zeros(n, dtype=np.float32)
+
+
+def _organ_pipe(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Ascending then descending ramp -- a bitonic input, adversarial for
+    pivot-based sorts."""
+    half = n // 2
+    up = np.linspace(0.0, 1.0, half, dtype=np.float32)
+    down = np.linspace(1.0, 0.0, n - half, dtype=np.float32)
+    return np.concatenate([up, down])
+
+
+DISTRIBUTIONS: dict[str, Callable[[np.random.Generator, int], np.ndarray]] = {
+    "uniform": _uniform,
+    "gaussian": _gaussian,
+    "sorted": _sorted,
+    "reverse_sorted": _reverse_sorted,
+    "nearly_sorted": _nearly_sorted,
+    "few_distinct": _few_distinct,
+    "all_equal": _all_equal,
+    "organ_pipe": _organ_pipe,
+}
+
+
+def generate_keys(distribution: str, n: int, seed: int = 0) -> np.ndarray:
+    """Seeded float32 keys from a named distribution."""
+    try:
+        gen = DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise SortInputError(
+            f"unknown distribution {distribution!r}; "
+            f"available: {sorted(DISTRIBUTIONS)}"
+        ) from None
+    if n < 0:
+        raise SortInputError("n must be non-negative")
+    return gen(np.random.default_rng(seed), n)
+
+
+def paper_workload(n: int, seed: int = 0) -> np.ndarray:
+    """The Section-8 workload: uniform random float keys as value/pointer
+    pairs, ids = original positions (the distinctness device)."""
+    return make_values(generate_keys("uniform", n, seed))

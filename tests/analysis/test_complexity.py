@@ -1,0 +1,136 @@
+"""Tests for the complexity laws (repro.analysis.complexity)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.complexity import (
+    abisort_comparison_count,
+    comparisons_upper_bound,
+    fit_log_growth,
+    fit_residual,
+    max_processors,
+    merge_comparison_count,
+    overlapped_step_total,
+    parallel_time_model,
+    sequential_phase_total,
+    speedup_vs_network,
+)
+from repro.core.abisort import GPUABiSorter
+from repro.errors import ModelError
+from repro.workloads.generators import paper_workload
+
+
+class TestComparisonLaws:
+    def test_merge_formula_paper_value(self):
+        """Section 4.1: 'a total of 2n - log n - 2' comparisons."""
+        assert merge_comparison_count(16) == 32 - 4 - 2
+
+    @pytest.mark.parametrize("n", [2, 16, 1024, 1 << 20])
+    def test_sort_below_bound(self, n):
+        assert abisort_comparison_count(n) < comparisons_upper_bound(n)
+
+    def test_bound_ratio_approaches_one(self):
+        """The bound 2 n log n is asymptotically tight up to lower-order
+        terms: ratio to the exact count tends to 1 from above."""
+        r_small = comparisons_upper_bound(64) / abisort_comparison_count(64)
+        r_large = comparisons_upper_bound(1 << 20) / abisort_comparison_count(1 << 20)
+        assert r_large < r_small
+        assert 1.0 < r_large < 1.2
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ModelError):
+            merge_comparison_count(6)
+        with pytest.raises(ModelError):
+            abisort_comparison_count(0)
+
+
+class TestStreamOpGrowth:
+    def test_formula_totals(self):
+        assert sequential_phase_total(16) == sum(
+            (j * j + j) // 2 for j in (1, 2, 3, 4)
+        )
+        assert overlapped_step_total(16) == sum(2 * j - 1 for j in (1, 2, 3, 4))
+
+    def test_measured_counts_fit_growth_orders(self):
+        """E10: measured kernel-op counts grow as log^3 n (sequential)
+        vs log^2 n (overlapped): the right-degree fit has (near-)zero
+        residual, the lower-degree fit does not."""
+        ns, seq_counts, ovl_counts = [], [], []
+        for e in range(4, 11):
+            n = 1 << e
+            values = paper_workload(n)
+            s = GPUABiSorter(schedule="sequential", gpu_semantics=False)
+            s.sort(values)
+            seq_counts.append(
+                sum(1 for op in s.last_machine.ops if op.name in ("phase0", "phaseI"))
+            )
+            o = GPUABiSorter(schedule="overlapped", gpu_semantics=False)
+            o.sort(values)
+            ovl_counts.append(
+                sum(1 for op in o.last_machine.ops if op.name in ("phase0", "phaseI"))
+            )
+            ns.append(n)
+        assert fit_residual(ns, seq_counts, 3) < 1e-9  # exact cubic
+        assert fit_residual(ns, seq_counts, 2) > 0.005
+        assert fit_residual(ns, ovl_counts, 2) < 1e-9  # exact quadratic
+        assert fit_residual(ns, ovl_counts, 1) > 0.02
+
+    def test_fit_requires_enough_points(self):
+        with pytest.raises(ModelError):
+            fit_log_growth([16, 32], [1, 2], 3)
+
+
+class TestParallelModel:
+    def test_time_models(self):
+        n = 1 << 16
+        assert parallel_time_model(n, 1, "abisort") == n * 16
+        assert parallel_time_model(n, 16, "network") == n * 16 * 16 / 16
+
+    def test_network_abisort_ratio_is_log_n(self):
+        n = 1 << 10
+        ratio = parallel_time_model(n, 4, "network") / parallel_time_model(
+            n, 4, "abisort"
+        )
+        assert ratio == pytest.approx(speedup_vs_network(n))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ModelError):
+            parallel_time_model(16, 1, "bogo")
+
+    def test_zero_processors(self):
+        with pytest.raises(ModelError):
+            parallel_time_model(16, 0)
+
+    def test_max_processors_section1_claims(self):
+        """Section 1: optimal up to n/log n units (multi-block substreams)
+        or n/log^2 n (single contiguous blocks)."""
+        n = 1 << 20
+        assert max_processors(n, True) == int(n / 20)
+        assert max_processors(n, False) == int(n / 400)
+        assert max_processors(2) == 1
+
+
+class TestDataIndependence:
+    def test_stream_op_log_is_data_independent(self):
+        """E11 companion: the machine work of GPU-ABiSort is identical for
+        any input of a given length (Section 8)."""
+        from repro.workloads.generators import generate_keys
+
+        logs = []
+        for dist in ("uniform", "sorted", "organ_pipe"):
+            values = repro.make_values(generate_keys(dist, 256, seed=0))
+            s = repro.make_sorter(repro.ABiSortConfig())
+            s.sort(values)
+            logs.append(
+                [
+                    (op.name, op.instances, op.linear_read_bytes,
+                     op.linear_write_bytes, op.gather_elems)
+                    for op in s.last_machine.ops
+                ]
+            )
+        assert logs[0] == logs[1] == logs[2]

@@ -1,0 +1,55 @@
+"""Tests for the Figure-2/3 merge trace (repro.analysis.merge_trace)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.merge_trace import (
+    MergeTrace,
+    format_merge_trace,
+    trace_level_merge,
+)
+from repro.errors import SortInputError
+
+
+class TestTrace:
+    def test_phase_structure(self):
+        trace = trace_level_merge(num_trees=2, seed=0)
+        # Stages 0, 1, 2 with 3, 2, 1 phases respectively.
+        assert [(p.stage, p.phase) for p in trace.phases] == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 0),
+        ]
+
+    def test_pq_stream_connects_phases(self):
+        trace = trace_level_merge(num_trees=2, seed=2)
+        by_stage: dict[int, list] = {}
+        for p in trace.phases:
+            by_stage.setdefault(p.stage, []).append(p)
+        for phases in by_stage.values():
+            for prev, cur in zip(phases, phases[1:]):
+                assert cur.pq_in == prev.pq_out
+
+    def test_one_comparison_per_instance(self):
+        trace = trace_level_merge(num_trees=4, seed=3)
+        for p in trace.phases:
+            instances = 4 << p.stage
+            assert len(p.comparisons) == instances
+
+    def test_output_sorted_alternating(self):
+        trace = trace_level_merge(num_trees=4, seed=4)
+        for t in range(4):
+            run = trace.sorted_keys[t * 8 : (t + 1) * 8]
+            d = np.diff(run)
+            assert (d >= 0).all() if t % 2 == 0 else (d <= 0).all()
+
+    def test_rejects_non_power_of_two_trees(self):
+        with pytest.raises(SortInputError):
+            trace_level_merge(num_trees=3)
+        with pytest.raises(SortInputError):
+            trace_level_merge(num_trees=0)
+
+    def test_format(self):
+        text = format_merge_trace(trace_level_merge(num_trees=2, seed=0))
+        assert "stage 0 phase 0" in text
+        assert "pq out" in text and "compare" in text

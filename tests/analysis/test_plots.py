@@ -1,0 +1,60 @@
+"""Tests for the ASCII plot rendering (repro.analysis.plots)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plots import ascii_plot, timing_plot
+from repro.analysis.timing import TimingRow
+from repro.errors import ModelError
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot(
+            {"a": ([1024, 2048, 4096], [1.0, 2.0, 4.0])},
+            title="demo",
+        )
+        assert text.startswith("demo")
+        assert "o a" in text  # legend
+        assert "2^10" in text and "2^12" in text
+
+    def test_multiple_series_distinct_markers(self):
+        text = ascii_plot(
+            {
+                "one": ([1, 2], [1.0, 2.0]),
+                "two": ([1, 2], [2.0, 1.0]),
+            },
+            log_x=False,
+        )
+        assert "o one" in text and "x two" in text
+        assert "o" in text and "x" in text
+
+    def test_monotone_series_spans_the_grid(self):
+        text = ascii_plot({"s": ([1, 2, 4, 8], [1, 2, 4, 8.0])})
+        rows = [line for line in text.splitlines() if line.strip().startswith("|")]
+        marked = [i for i, row in enumerate(rows) if "o" in row]
+        # An increasing series reaches both the top rows (its maximum) and
+        # the bottom rows (its minimum).
+        assert min(marked) <= 2
+        assert max(marked) >= len(rows) - 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            ascii_plot({})
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ModelError):
+            ascii_plot({"bad": ([1, 2], [1.0])})
+
+
+class TestTimingPlot:
+    def test_renders_all_sorters(self):
+        rows = [
+            TimingRow(1024, 1.0, 1.2, 0.9, {"z-order": 0.5}),
+            TimingRow(2048, 2.0, 2.4, 1.7, {"z-order": 0.9}),
+        ]
+        text = timing_plot(rows, "test plot")
+        assert "CPU sort" in text
+        assert "GPUSort" in text
+        assert "GPU-ABiSort z-order" in text

@@ -1,0 +1,62 @@
+"""Tests for the PRAM-round analysis (repro.analysis.pram)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.pram import (
+    optimal_processor_range,
+    pram_rounds,
+    pram_speedup,
+    pram_work,
+)
+from repro.errors import ModelError
+
+
+class TestRounds:
+    def test_single_processor_equals_work(self):
+        assert pram_rounds(256, 1) == pram_work(256)
+
+    def test_rounds_monotone_in_p(self):
+        n = 1 << 10
+        rounds = [pram_rounds(n, p) for p in (1, 2, 4, 8, 16)]
+        assert rounds == sorted(rounds, reverse=True)
+
+    def test_infinite_processors_floor(self):
+        """With p >= max instances, every step is one round: the critical
+        path = total overlapped steps = sum of (2j - 1)."""
+        n = 1 << 8
+        log_n = 8
+        critical = sum(2 * j - 1 for j in range(1, log_n + 1))
+        assert pram_rounds(n, n) == critical
+
+    def test_work_matches_phase_step_count(self):
+        """Work = total (instances x phases) = one phase-step per
+        comparison of the merge: equals the exact comparison count."""
+        from repro.analysis.complexity import abisort_comparison_count
+
+        for n in (16, 256, 4096):
+            assert pram_work(n) == abisort_comparison_count(n)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            pram_rounds(100, 1)
+        with pytest.raises(ModelError):
+            pram_rounds(128, 0)
+
+
+class TestSpeedup:
+    def test_perfect_at_small_p(self):
+        assert pram_speedup(1 << 10, 2) == pytest.approx(2.0, rel=0.02)
+
+    def test_efficiency_range_grows_with_n(self):
+        """The p at which efficiency holds grows ~ n / log n."""
+        r1 = optimal_processor_range(1 << 8)
+        r2 = optimal_processor_range(1 << 12)
+        assert r2 > 4 * r1
+
+    def test_efficiency_threshold_validated(self):
+        with pytest.raises(ModelError):
+            optimal_processor_range(256, efficiency=0.0)

@@ -1,0 +1,56 @@
+"""Tests for the run profiler (repro.analysis.profile)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis.profile import format_profile, profile_run
+from repro.errors import ModelError
+from repro.stream.context import StreamMachine
+from repro.stream.gpu_model import GEFORCE_6800_ULTRA
+from repro.workloads.generators import paper_workload
+
+
+@pytest.fixture(scope="module")
+def finished_sorter():
+    sorter = repro.make_sorter(repro.ABiSortConfig())
+    sorter.sort(paper_workload(1 << 10))
+    return sorter
+
+
+class TestProfile:
+    def test_tags_cover_all_levels(self, finished_sorter):
+        profile = profile_run(finished_sorter.last_machine, GEFORCE_6800_ULTRA)
+        tags = {tp.tag for tp in profile.tags}
+        assert "local_sort" in tags
+        for j in range(4, 11):
+            assert f"level{j}" in tags
+
+    def test_totals_consistent(self, finished_sorter):
+        machine = finished_sorter.last_machine
+        profile = profile_run(machine, GEFORCE_6800_ULTRA)
+        assert sum(tp.ops for tp in profile.tags) == len(machine.ops)
+        assert sum(tp.modeled_ms for tp in profile.tags) == pytest.approx(
+            profile.total_ms, rel=1e-6
+        )
+
+    def test_levels_ordered_and_growing(self, finished_sorter):
+        """Later (bigger) levels dominate: level j touches ~n nodes but
+        more stages, so per-level cost grows with j."""
+        profile = profile_run(finished_sorter.last_machine, GEFORCE_6800_ULTRA)
+        level_ms = [tp.modeled_ms for tp in profile.tags if tp.tag.startswith("level")]
+        assert level_ms[-1] > level_ms[0]
+        assert profile.dominant().tag == f"level10"
+
+    def test_format(self, finished_sorter):
+        text = format_profile(
+            profile_run(finished_sorter.last_machine, GEFORCE_6800_ULTRA)
+        )
+        assert "run profile on GeForce 6800" in text
+        assert "level10" in text
+        assert "%" in text
+
+    def test_empty_machine_rejected(self):
+        with pytest.raises(ModelError):
+            profile_run(StreamMachine(), GEFORCE_6800_ULTRA)

@@ -1,0 +1,84 @@
+"""Tests for the instrumented CPU quicksort (repro.baselines.cpu_sort)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cpu_sort import CPUSortCounters, quicksort, std_sort
+from repro.core.values import make_values, reference_sort
+from repro.errors import SortInputError
+from repro.workloads.generators import DISTRIBUTIONS, generate_keys
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [0, 1, 2, 15, 16, 17, 100, 1000])
+    def test_sorts_any_length(self, n, rng):
+        vals = make_values(rng.random(n, dtype=np.float32))
+        assert np.array_equal(quicksort(vals), reference_sort(vals))
+
+    @pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+    def test_sorts_all_distributions(self, dist):
+        vals = make_values(generate_keys(dist, 500, seed=3))
+        assert np.array_equal(quicksort(vals), reference_sort(vals))
+
+    def test_std_sort_agrees(self, rng):
+        vals = make_values(rng.random(333, dtype=np.float32))
+        assert np.array_equal(std_sort(vals), quicksort(vals))
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(SortInputError):
+            quicksort(np.zeros(4))
+
+    def test_input_not_mutated(self, small_values):
+        snapshot = small_values.copy()
+        quicksort(small_values)
+        assert np.array_equal(small_values, snapshot)
+
+    @given(
+        keys=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=0, max_size=80,
+        )
+    )
+    @settings(max_examples=40)
+    def test_property(self, keys):
+        vals = make_values(np.array(keys, dtype=np.float32))
+        assert np.array_equal(quicksort(vals), reference_sort(vals))
+
+
+class TestCounters:
+    def test_counts_scale_as_n_log_n(self, rng):
+        per_nlogn = []
+        for n in (1 << 10, 1 << 12, 1 << 14):
+            c = CPUSortCounters()
+            quicksort(make_values(rng.random(n, dtype=np.float32)), c)
+            per_nlogn.append(c.total_ops / (n * math.log2(n)))
+        # The normalised cost is roughly flat for a well-behaved quicksort.
+        assert max(per_nlogn) / min(per_nlogn) < 1.3
+
+    def test_counts_are_data_dependent(self):
+        """Unlike GPU-ABiSort, quicksort's work varies with the input --
+        the reason Tables 2-3 report CPU *ranges*."""
+        n = 1 << 12
+        counts = []
+        for dist in ("uniform", "sorted", "organ_pipe", "few_distinct"):
+            c = CPUSortCounters()
+            quicksort(make_values(generate_keys(dist, n, seed=0)), c)
+            counts.append(c.total_ops)
+        assert len(set(counts)) > 1
+
+    def test_counters_optional(self, small_values):
+        assert np.array_equal(quicksort(small_values), reference_sort(small_values))
+
+    def test_partition_and_insertion_counts_populate(self, medium_values):
+        c = CPUSortCounters()
+        quicksort(medium_values, c)
+        assert c.partitions > 0
+        assert c.insertion_segments > 0
+        assert c.comparisons > 0
+        assert c.total_ops == c.comparisons + c.moves

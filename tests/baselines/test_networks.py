@@ -1,0 +1,166 @@
+"""Tests for the sorting-network baselines: bitonic (GPUSort), odd-even
+merge, periodic balanced, odd-even transition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bitonic_network import (
+    bitonic_exchange_count,
+    bitonic_network_passes,
+    bitonic_network_sort,
+    bitonic_pass_roles,
+    gpusort_stream,
+)
+from repro.baselines.odd_even_merge import (
+    odd_even_merge_comparator_count,
+    odd_even_merge_passes,
+    odd_even_merge_sort,
+    odd_even_merge_stream,
+)
+from repro.baselines.periodic_balanced import (
+    periodic_balanced_passes,
+    periodic_balanced_sort,
+    periodic_balanced_stream,
+)
+from repro.baselines.odd_even_transition import (
+    odd_even_transition_exchanges,
+    odd_even_transition_sort,
+)
+from repro.core.values import make_values, reference_sort
+from repro.errors import SortInputError
+
+SORTERS = [
+    bitonic_network_sort,
+    odd_even_merge_sort,
+    periodic_balanced_sort,
+    odd_even_transition_sort,
+]
+
+
+@pytest.mark.parametrize("sorter", SORTERS)
+class TestNetworkCorrectness:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 512])
+    def test_sorts_random(self, sorter, n, rng):
+        vals = make_values(rng.random(n, dtype=np.float32))
+        assert np.array_equal(sorter(vals), reference_sort(vals))
+
+    def test_sorts_duplicates(self, sorter, rng):
+        vals = make_values(rng.integers(0, 4, 128).astype(np.float32))
+        assert np.array_equal(sorter(vals), reference_sort(vals))
+
+    def test_zero_one_principle_exhaustive(self, sorter):
+        """0-1 principle: a comparator network sorts all inputs iff it
+        sorts all 0/1 inputs; exhaustively checked for n = 8."""
+        n = 8
+        for bits in range(1 << n):
+            keys = np.array([(bits >> i) & 1 for i in range(n)], dtype=np.float32)
+            vals = make_values(keys)
+            out = sorter(vals)
+            assert np.array_equal(out["key"], np.sort(keys)), bits
+
+
+class TestNetworkStructure:
+    @pytest.mark.parametrize("n", [2, 16, 256, 4096])
+    def test_bitonic_pass_count(self, n):
+        log_n = n.bit_length() - 1
+        assert len(bitonic_network_passes(n)) == log_n * (log_n + 1) // 2
+
+    @pytest.mark.parametrize("n", [2, 16, 256, 4096])
+    def test_oem_pass_count(self, n):
+        log_n = n.bit_length() - 1
+        assert len(odd_even_merge_passes(n)) == log_n * (log_n + 1) // 2
+
+    @pytest.mark.parametrize("n", [2, 16, 256])
+    def test_pbsn_pass_count(self, n):
+        log_n = n.bit_length() - 1
+        assert len(periodic_balanced_passes(n)) == log_n * log_n
+
+    def test_bitonic_exchange_count(self):
+        assert bitonic_exchange_count(16) == 8 * 10
+
+    def test_oem_has_fewer_comparators_than_bitonic(self):
+        """Batcher's odd-even network is comparator-cheaper than bitonic."""
+        for n in (16, 64, 1024):
+            assert odd_even_merge_comparator_count(n) < bitonic_exchange_count(n)
+
+    def test_network_work_is_superlinear_vs_abisort(self):
+        """The Theta(n log^2 n) vs < 2 n log n work gap (Section 2.2)."""
+        from repro.analysis.complexity import abisort_comparison_count
+
+        n = 1 << 14
+        assert bitonic_exchange_count(n) > 2 * abisort_comparison_count(n)
+
+    def test_bitonic_roles_partner_symmetry(self):
+        partner, take_min = bitonic_pass_roles(16, 2, 1)
+        assert np.array_equal(partner[partner], np.arange(16))
+        # Exactly one of each partner pair takes the minimum.
+        assert np.all(take_min != take_min[partner])
+
+    @pytest.mark.parametrize("n", [3, 6, 0])
+    def test_power_of_two_required(self, n):
+        with pytest.raises(SortInputError):
+            bitonic_network_passes(n)
+        with pytest.raises(SortInputError):
+            odd_even_merge_passes(n)
+        with pytest.raises(SortInputError):
+            periodic_balanced_passes(n)
+
+    def test_transition_exchange_count(self):
+        assert odd_even_transition_exchanges(8) == 4 * 4 + 4 * 3
+
+
+class TestStreamPrograms:
+    @pytest.mark.parametrize(
+        "stream_sorter",
+        [gpusort_stream, odd_even_merge_stream, periodic_balanced_stream],
+    )
+    def test_stream_matches_reference(self, stream_sorter, rng):
+        vals = make_values(rng.random(128, dtype=np.float32))
+        out, machine = stream_sorter(vals)
+        assert np.array_equal(out, reference_sort(vals))
+        assert machine.counters().stream_ops > 0
+
+    def test_gpusort_one_op_per_pass(self, rng):
+        n = 256
+        vals = make_values(rng.random(n, dtype=np.float32))
+        _out, machine = gpusort_stream(vals)
+        assert machine.counters().stream_ops == len(bitonic_network_passes(n))
+
+    def test_gpusort_bytes_per_pass(self, rng):
+        """Each pass reads own + partner and writes one element per slot."""
+        n = 64
+        vals = make_values(rng.random(n, dtype=np.float32))
+        _out, machine = gpusort_stream(vals)
+        for op in machine.ops:
+            assert op.instances == n
+            assert op.linear_read_elems == n
+            assert op.gather_elems == n
+            assert op.linear_write_elems == n
+
+    def test_network_is_data_independent(self):
+        """Same op log for any input: networks are oblivious."""
+        a = make_values(np.arange(64, dtype=np.float32))
+        b = make_values(np.arange(64, dtype=np.float32)[::-1].copy())
+        _o1, m1 = gpusort_stream(a)
+        _o2, m2 = gpusort_stream(b)
+        s1 = [(op.name, op.instances, op.gather_elems) for op in m1.ops]
+        s2 = [(op.name, op.instances, op.gather_elems) for op in m2.ops]
+        assert s1 == s2
+
+
+@given(
+    keys=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=32, max_size=32,
+    )
+)
+@settings(max_examples=25)
+def test_all_sorters_agree(keys):
+    vals = make_values(np.array(keys, dtype=np.float32))
+    ref = reference_sort(vals)
+    for sorter in SORTERS:
+        assert np.array_equal(sorter(vals), ref)

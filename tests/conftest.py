@@ -1,0 +1,45 @@
+"""Shared fixtures and Hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.values import make_values
+
+# Deterministic, CI-friendly Hypothesis defaults.
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20060425)  # IPDPS 2006 conference date
+
+
+@pytest.fixture
+def small_values(rng) -> np.ndarray:
+    """64 uniform random value/pointer pairs."""
+    return make_values(rng.random(64, dtype=np.float32))
+
+
+@pytest.fixture
+def medium_values(rng) -> np.ndarray:
+    """1024 uniform random value/pointer pairs."""
+    return make_values(rng.random(1024, dtype=np.float32))
+
+
+def power_of_two_sizes(lo: int = 2, hi: int = 1024) -> list[int]:
+    """All powers of two in [lo, hi] -- the sorter's admissible lengths."""
+    out = []
+    n = lo
+    while n <= hi:
+        out.append(n)
+        n *= 2
+    return out

@@ -1,0 +1,137 @@
+"""Tests for the in-order bitonic-tree layout (repro.core.bitonic_tree)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SortInputError
+from repro.core.bitonic_tree import (
+    build_inorder_links,
+    build_tree_nodes,
+    inorder_of_complete_tree,
+    inorder_positions_by_level,
+    is_power_of_two,
+    levels_of_inorder_positions,
+    root_slot,
+    spare_slot,
+    tree_values_inorder,
+    validate_inorder_tree,
+)
+from repro.core.values import make_values
+
+
+class TestPowerOfTwo:
+    def test_values(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+
+class TestInorderLinks:
+    def test_tree_of_8(self):
+        """Hand-checked links of an 8-slot in-order tree at base 0:
+        root at slot 3, spare at 7."""
+        left, right = build_inorder_links(0, 8)
+        # slot:        0  1  2  3  4  5  6  (7 = spare)
+        assert list(left[:7]) == [0, 0, 2, 1, 4, 4, 6]
+        assert list(right[:7]) == [0, 2, 2, 5, 4, 6, 6]
+
+    def test_root_and_spare_slots(self):
+        assert root_slot(0, 8) == 3
+        assert spare_slot(0, 8) == 7
+        assert root_slot(16, 8) == 19
+
+    @given(e=st.integers(1, 10), mult=st.integers(0, 8))
+    def test_inorder_traversal_recovers_sequence(self, e, mult):
+        """Following the links from the root in-order yields slots in
+        ascending order -- the defining property of the layout."""
+        size = 1 << e
+        base = mult * size
+        left, right = build_inorder_links(base, size)
+        order: list[int] = []
+
+        def walk_abs(slot, lv):
+            if lv > 1:
+                walk_abs(int(left[slot - base]), lv - 1)
+            order.append(slot)
+            if lv > 1:
+                walk_abs(int(right[slot - base]), lv - 1)
+
+        walk_abs(root_slot(base, size), e)
+        assert order == list(range(base, base + size - 1))
+
+    def test_alignment_required(self):
+        with pytest.raises(SortInputError):
+            build_inorder_links(4, 8)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(SortInputError):
+            build_inorder_links(0, 6)
+
+    def test_links_of_aligned_subblocks_match(self):
+        """Initialising [n, 2n) as one big tree also initialises every
+        aligned sub-tree correctly (the Listing-2 trick)."""
+        big_l, big_r = build_inorder_links(16, 16)
+        for base in (16, 24):
+            sub_l, sub_r = build_inorder_links(base, 8)
+            off = base - 16
+            # spare slots excluded: their links are unused
+            assert np.array_equal(big_l[off : off + 7], sub_l[:7])
+            assert np.array_equal(big_r[off : off + 7], sub_r[:7])
+
+
+class TestLevelSequences:
+    def test_levels_of_inorder_positions_k3(self):
+        """The ruler sequence of Figures 4-6: levels 2 1 2 0 2 1 2 s."""
+        seq = levels_of_inorder_positions(3)
+        assert list(seq) == [2, 1, 2, 0, 2, 1, 2, -1]
+
+    def test_positions_by_level(self):
+        by_level = inorder_positions_by_level(3)
+        assert list(by_level[0]) == [3]
+        assert list(by_level[1]) == [1, 5]
+        assert list(by_level[2]) == [0, 2, 4, 6]
+
+    def test_levelorder_to_inorder_permutation(self):
+        perm = inorder_of_complete_tree(3)
+        # level-order: root, L1 pair, L2 quad -> in-order slots
+        assert list(perm) == [3, 1, 5, 0, 2, 4, 6]
+
+    @given(k=st.integers(1, 12))
+    def test_level_population(self, k):
+        seq = levels_of_inorder_positions(k)
+        for d in range(k):
+            assert int(np.count_nonzero(seq == d)) == (1 << d)
+        assert int(np.count_nonzero(seq == -1)) == 1
+
+
+class TestBuildAndTraverse:
+    def test_roundtrip(self, rng):
+        vals = make_values(rng.random(16, dtype=np.float32))
+        nodes = build_tree_nodes(vals, base=0)
+        validate_inorder_tree(nodes, 0, 16)
+        seq = tree_values_inorder(nodes, root_slot(0, 16), 4, vals[15])
+        assert np.array_equal(seq, vals)
+
+    def test_validate_detects_corruption(self, rng):
+        vals = make_values(rng.random(8, dtype=np.float32))
+        nodes = build_tree_nodes(vals, base=0)
+        nodes["left"][3] = 99
+        with pytest.raises(SortInputError):
+            validate_inorder_tree(nodes, 0, 8)
+
+    def test_traverse_rejects_out_of_array_link(self, rng):
+        vals = make_values(rng.random(8, dtype=np.float32))
+        nodes = build_tree_nodes(vals, base=0)
+        nodes["left"][3] = 99  # corrupt the root's left link
+        with pytest.raises(IndexError):
+            tree_values_inorder(nodes, root_slot(0, 8), 3, vals[7])
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(SortInputError):
+            build_tree_nodes(np.zeros(8))

@@ -1,0 +1,160 @@
+"""Failure injection: the machinery's invariants are load-bearing.
+
+These tests deliberately break one element of the design -- the Table-1
+plan, the dest-iterator contract, the direction constants, the pq
+ping-pong -- and assert that the sort *visibly fails* (wrong output or a
+machine error).  This guards against the failure mode where a refactor
+quietly stops exercising the mechanism a test was meant to cover: if
+corrupting X no longer breaks the sort, X is no longer doing its job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import layout
+from repro.core.abisort import GPUABiSorter
+from repro.core.values import reference_sort
+from repro.errors import ReproError
+from repro.workloads.generators import paper_workload
+
+N = 256
+
+
+def run_is_correct(sorter) -> bool:
+    values = paper_workload(N, seed=3)
+    try:
+        out = sorter.sort(values)
+    except (ReproError, IndexError):
+        return False
+    return bool(np.array_equal(out, reference_sort(values)))
+
+
+class TestControl:
+    def test_unbroken_sorter_is_correct(self):
+        assert run_is_correct(GPUABiSorter())
+
+
+class TestLayoutIsLoadBearing:
+    def test_shifted_phase_blocks_break_the_sort(self, monkeypatch):
+        """Writing each phase one pair later than Table 1 dictates must
+        clobber live nodes (the Section-5.3 argument, negatively)."""
+        real = layout.phase_block
+
+        def shifted(log_n, j, stage, phase):
+            block = real(log_n, j, stage, phase)
+            if stage == 1 and phase == 1 and j >= 3:
+                return layout.PhaseBlock(
+                    stage, phase, block.start_pair + block.length_pairs,
+                    block.length_pairs,
+                )
+            return block
+
+        monkeypatch.setattr(layout, "phase_block", shifted)
+        assert not run_is_correct(GPUABiSorter())
+
+    def test_wrong_dest_iterator_breaks_child_links(self, monkeypatch):
+        """Child pointers must be redirected to exactly the next phase's
+        output block; pointing them one element off breaks the merge."""
+        real = layout.phase_block_unchecked
+
+        def skewed(log_n, j, stage, phase):
+            block = real(log_n, j, stage, phase)
+            if stage == 0 and phase == 2 and j >= 4:
+                return layout.PhaseBlock(
+                    stage, phase, block.start_pair + 1, block.length_pairs
+                )
+            return block
+
+        monkeypatch.setattr(layout, "phase_block_unchecked", skewed)
+        assert not run_is_correct(GPUABiSorter())
+
+
+class TestKernelContractsAreLoadBearing:
+    def test_wrong_direction_flags_break_the_sort(self, monkeypatch):
+        """Alternating per-tree sort directions are what make the next
+        level's inputs bitonic."""
+        from repro.core import kernels
+
+        monkeypatch.setattr(
+            kernels, "reverse_flags",
+            lambda instances, per_tree: np.zeros(instances, dtype=bool),
+        )
+        assert not run_is_correct(GPUABiSorter())
+
+    def test_swapped_pq_push_order_breaks_the_sort(self, monkeypatch):
+        """phase0 pushes (new p, new q) in that order; phase i relies on
+        the interleave (Listing 3/4)."""
+        from repro.core import kernels
+
+        real = kernels.phase0_body
+
+        def swapped(ctx):
+            # Run the real body against a proxy that swaps the pq pushes.
+            class Proxy:
+                def __getattr__(self, name):
+                    return getattr(ctx, name)
+
+                def push(self, port, values):
+                    if port == "pq":
+                        self._stash = getattr(self, "_stash", [])
+                        self._stash.append(values)
+                        if len(self._stash) == 2:
+                            ctx.push("pq", self._stash[1])
+                            ctx.push("pq", self._stash[0])
+                    else:
+                        ctx.push(port, values)
+
+            real(Proxy())
+
+        monkeypatch.setattr(kernels, "phase0_body", swapped)
+        assert not run_is_correct(GPUABiSorter())
+
+    def test_missing_son_exchange_breaks_phase0(self, monkeypatch):
+        """The Section-4.2 simplification swaps the root's sons along with
+        the values; dropping the pointer swap must corrupt the merge."""
+        from repro.core import kernels
+        from repro.stream.stream import values_greater
+
+        def no_son_swap(ctx):
+            reverse = ctx.const("reverse")
+            root = ctx.read("roots").copy()
+            spare = ctx.read("spares").copy()
+            cond = values_greater(root, spare) != reverse
+            kernels._swap_values(root, spare, cond)
+            # (son exchange omitted)
+            ctx.push("pq", root["left"])
+            ctx.push("pq", root["right"])
+            ctx.push("values", kernels._values_of(root))
+            ctx.push("values", spare)
+
+        monkeypatch.setattr(kernels, "phase0_body", no_son_swap)
+        assert not run_is_correct(GPUABiSorter())
+
+
+class TestMachineCatchesStructuralMistakes:
+    def test_overlapping_step_blocks_rejected(self):
+        """If two blocks of one combined op overlapped, the Substream
+        validation would refuse the multi-block substream."""
+        from repro.errors import SubstreamError
+        from repro.stream.context import StreamMachine
+        from repro.stream.stream import PQ_DTYPE
+
+        machine = StreamMachine()
+        s = machine.alloc("s", PQ_DTYPE, 16)
+        with pytest.raises(SubstreamError):
+            s.multi([(0, 4), (2, 6)])
+
+    def test_gpu_mode_catches_inplace_update(self):
+        """Trying to run the merge in place on one stream (no ping-pong)
+        violates the Section-6.1 constraint and is rejected."""
+        sorter = GPUABiSorter(gpu_semantics=True)
+        values = paper_workload(16)
+        state = sorter._setup(values)
+        # Force nodes_out to alias nodes_in, as a buggy driver might.
+        state.nodes_out = state.nodes_in
+        sorter._init_trees(state, values)
+        with pytest.raises(ReproError):
+            sorter._run_level(state, 1)

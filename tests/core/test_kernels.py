@@ -1,0 +1,228 @@
+"""Unit tests for the individual stream kernels (repro.core.kernels).
+
+Each kernel is exercised in isolation on a StreamMachine and checked
+against the scalar semantics of the paper's listings.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.bitonic_tree import build_tree_nodes, root_slot
+from repro.core.values import make_values, reference_sort
+from repro.stream.context import StreamMachine
+from repro.stream.iterator import IteratorStream
+from repro.stream.stream import NODE_DTYPE, PQ_DTYPE, VALUE_DTYPE
+
+
+def machine() -> StreamMachine:
+    return StreamMachine(distinct_io=False)
+
+
+class TestReverseFlags:
+    def test_pattern(self):
+        flags = kernels.reverse_flags(8, 2)
+        assert list(flags) == [False, False, True, True, False, False, True, True]
+
+    def test_single_tree_all_forward(self):
+        assert not kernels.reverse_flags(4, 4).any()
+
+
+class TestPhase0Kernel:
+    def _run(self, root_val, spare_val, reverse):
+        m = machine()
+        nodes = m.alloc("nodes", NODE_DTYPE, 4)
+        arr = nodes.array()
+        arr["key"][1] = root_val
+        arr["id"][1] = 1
+        arr["left"][1] = 10
+        arr["right"][1] = 20
+        arr["key"][0] = spare_val
+        arr["id"][0] = 0
+        pq = m.alloc("pq", PQ_DTYPE, 2)
+        out = m.alloc("out", NODE_DTYPE, 2)
+        m.kernel(
+            "phase0", instances=1, body=kernels.phase0_body,
+            inputs={"roots": (nodes.sub(1, 2), 1)},
+            value_only_inputs={"spares": (nodes.sub(0, 1), 1)},
+            consts={"reverse": np.array([reverse])},
+            outputs={"pq": (pq.whole(), 2)},
+            value_only_outputs={"values": (out.whole(), 2)},
+        )
+        return pq.array(), out.array()
+
+    def test_no_swap_when_ordered(self):
+        pq, out = self._run(root_val=1.0, spare_val=2.0, reverse=False)
+        assert list(pq) == [10, 20]
+        assert out["key"][0] == np.float32(1.0)
+        assert out["key"][1] == np.float32(2.0)
+
+    def test_swap_values_and_sons_when_inverted(self):
+        """Section 4.2: on root > spare, exchange values AND the two sons."""
+        pq, out = self._run(root_val=3.0, spare_val=2.0, reverse=False)
+        assert list(pq) == [20, 10]  # sons exchanged
+        assert out["key"][0] == np.float32(2.0)
+        assert out["key"][1] == np.float32(3.0)
+
+    def test_reverse_direction_flips_comparison(self):
+        pq, out = self._run(root_val=1.0, spare_val=2.0, reverse=True)
+        assert list(pq) == [20, 10]
+        assert out["key"][0] == np.float32(2.0)
+
+
+class TestPhaseIKernel:
+    def _run(self, p_val, q_val, reverse=False):
+        m = machine()
+        nodes = m.alloc("nodes", NODE_DTYPE, 8)
+        arr = nodes.array()
+        arr["key"][2], arr["id"][2] = p_val, 2
+        arr["left"][2], arr["right"][2] = 11, 12
+        arr["key"][5], arr["id"][5] = q_val, 5
+        arr["left"][5], arr["right"][5] = 51, 52
+        pq_in = m.wrap("pq_in", np.array([2, 5], dtype=PQ_DTYPE))
+        pq_out = m.alloc("pq_out", PQ_DTYPE, 2)
+        out = m.alloc("out", NODE_DTYPE, 2)
+        m.kernel(
+            "phaseI", instances=1, body=kernels.phaseI_body,
+            inputs={"pq": (pq_in.whole(), 2)},
+            gathers={"trees": nodes},
+            iterators={"dest": (IteratorStream(100, 102), 2)},
+            consts={"reverse": np.array([reverse])},
+            outputs={"pq_out": (pq_out.whole(), 2), "nodes": (out.whole(), 2)},
+        )
+        return pq_out.array(), out.array()
+
+    def test_no_swap_descends_left(self):
+        """p < q: no exchange; descend left; left pointers redirected to
+        the next phase's output locations."""
+        pq, out = self._run(1.0, 2.0)
+        assert list(pq) == [11, 51]  # old left children
+        assert out["key"][0] == np.float32(1.0)
+        assert out["left"][0] == 100 and out["left"][1] == 101  # dest iter
+        assert out["right"][0] == 12 and out["right"][1] == 52  # unchanged
+
+    def test_swap_exchanges_values_and_left_sons(self):
+        """p > q (Listing 4's true branch): swap values and left sons,
+        descend right, right pointers redirected."""
+        pq, out = self._run(5.0, 3.0)
+        assert list(pq) == [12, 52]  # old right children
+        assert out["key"][0] == np.float32(3.0)  # values swapped
+        assert out["key"][1] == np.float32(5.0)
+        assert out["left"][0] == 51 and out["left"][1] == 11  # left sons swapped
+        assert out["right"][0] == 100 and out["right"][1] == 101
+
+    def test_reverse_inverts(self):
+        pq, out = self._run(1.0, 2.0, reverse=True)
+        assert list(pq) == [12, 52]  # swap branch taken
+
+
+class TestLocalSortKernel:
+    @pytest.mark.parametrize("width", [2, 4, 8])
+    def test_sorts_blocks_with_alternating_direction(self, width, rng):
+        blocks = 6
+        vals = make_values(rng.random(blocks * width, dtype=np.float32))
+        m = machine()
+        src = m.wrap("src", vals.copy())
+        dst = m.alloc("dst", VALUE_DTYPE, blocks * width)
+        m.kernel(
+            "local_sort8", instances=blocks,
+            body=partial(kernels.local_sortw_body, width=width),
+            inputs={"values": (src.whole(), width)},
+            consts={"reverse": kernels.reverse_flags(blocks, 1)},
+            outputs={"sorted": (dst.whole(), width)},
+        )
+        out = dst.array()
+        for b in range(blocks):
+            chunk = out[b * width : (b + 1) * width]
+            ref = reference_sort(vals[b * width : (b + 1) * width])
+            if b & 1:
+                ref = ref[::-1]
+            assert np.array_equal(chunk, ref), b
+
+
+class TestMerge16Kernel:
+    def _merge(self, vals, reverse=False):
+        """Run the two-instance merge of one 16-value bitonic sequence."""
+        m = machine()
+        seq = m.wrap("seq", vals.copy())
+        out = m.alloc("out", VALUE_DTYPE, 16)
+        m.kernel(
+            "bitonic_merge16", instances=2,
+            body=kernels.bitonic_merge16_body,
+            gathers={"seq": seq},
+            consts={
+                "reverse": np.array([reverse, reverse]),
+                "base": np.array([0, 0], dtype=np.int64),
+                "upper": np.array([False, True]),
+            },
+            outputs={"merged": (out.whole(), 8)},
+        )
+        return out.array()
+
+    def test_merges_updown_bitonic(self, rng):
+        keys = rng.random(16, dtype=np.float32)
+        vals = make_values(
+            np.concatenate([np.sort(keys[:8]), np.sort(keys[8:])[::-1]])
+        )
+        assert np.array_equal(self._merge(vals), reference_sort(vals))
+
+    def test_merges_descending(self, rng):
+        keys = rng.random(16, dtype=np.float32)
+        vals = make_values(
+            np.concatenate([np.sort(keys[:8])[::-1], np.sort(keys[8:])])
+        )
+        out = self._merge(vals, reverse=True)
+        assert np.array_equal(out, reference_sort(vals)[::-1])
+
+    def test_rotated_bitonic(self):
+        base = np.array([0, 2, 5, 9, 12, 15, 13, 10, 8, 7, 6, 4, 3, 1, -1, -2],
+                        dtype=np.float32)
+        for rot in range(16):
+            vals = make_values(np.roll(base, rot))
+            assert np.array_equal(self._merge(vals), reference_sort(vals)), rot
+
+
+class TestTraverse16Kernel:
+    def test_collects_inorder_sequence(self, rng):
+        """Build a 16-node in-order tree; the traversal kernel must emit
+        its sequence: left 15-subtree... here we test the subtree walk on a
+        15-node subtree directly."""
+        vals = make_values(rng.random(16, dtype=np.float32))
+        nodes_arr = build_tree_nodes(vals, base=0)
+        m = machine()
+        nodes = m.wrap("nodes", nodes_arr)
+        seq = m.alloc("seq", VALUE_DTYPE, 16)
+        root = root_slot(0, 16)
+        m.kernel(
+            "traverse16", instances=1,
+            body=kernels.traverse16_body,
+            inputs={"roots": (nodes.sub(root, root + 1), 1)},
+            value_only_inputs={"trailing": (nodes.sub(15, 16), 1)},
+            gathers={"trees": nodes},
+            outputs={"seq": (seq.whole(), 16)},
+        )
+        assert np.array_equal(seq.array(), vals)
+
+
+class TestInitTreeLinks:
+    def test_builds_inorder_layout(self, rng):
+        n = 16
+        vals = make_values(rng.random(n, dtype=np.float32))
+        m = machine()
+        src = m.wrap("src", vals.copy())
+        nodes = m.alloc("nodes", NODE_DTYPE, 2 * n)
+        m.kernel(
+            "init_tree_links", instances=n,
+            body=kernels.init_tree_links_body,
+            inputs={"values": (src.whole(), 1)},
+            iterators={"slots": (IteratorStream(n, 2 * n), 1)},
+            outputs={"nodes": (nodes.sub(n, 2 * n), 1)},
+        )
+        from repro.core.bitonic_tree import validate_inorder_tree
+
+        validate_inorder_tree(nodes.array(), n, n)
+        assert np.array_equal(nodes.array()["key"][n:], vals["key"])

@@ -1,0 +1,218 @@
+"""Tests for the substream plan and schedules (repro.core.layout).
+
+Pins Table 1 and the schedule claims of Sections 5.3, 5.4 and 7.2 --
+including the safety property the whole memory-saving scheme rests on:
+no phase ever overwrites a node pair that a later phase still reads.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.core.layout import (
+    LayoutTracker,
+    num_phases,
+    num_trees,
+    overlapped_schedule,
+    overlapped_step_count,
+    phase_block,
+    phase_block_unchecked,
+    phase_pair_labels,
+    sequential_schedule,
+    stage_instances,
+    total_sequential_phases,
+    truncated_overlapped_schedule,
+    truncated_step_count,
+    validate_no_overlap_within_step,
+)
+
+
+class TestTable1:
+    def test_paper_formulas(self):
+        """Table 1 entries for log_n = j = 4 (scale 1)."""
+        assert (phase_block(4, 4, 0, 0).start_pair,
+                phase_block(4, 4, 0, 0).stop_pair) == (0, 1)
+        assert (phase_block(4, 4, 0, 1).start_pair,
+                phase_block(4, 4, 0, 1).stop_pair) == (1, 2)
+        assert (phase_block(4, 4, 0, 2).start_pair,
+                phase_block(4, 4, 0, 2).stop_pair) == (3, 4)
+        assert (phase_block(4, 4, 0, 3).start_pair,
+                phase_block(4, 4, 0, 3).stop_pair) == (5, 6)
+        assert (phase_block(4, 4, 1, 2).start_pair,
+                phase_block(4, 4, 1, 2).stop_pair) == (6, 8)
+        assert (phase_block(4, 4, 3, 0).start_pair,
+                phase_block(4, 4, 3, 0).stop_pair) == (0, 8)
+
+    def test_scale_with_tree_count(self):
+        """All blocks scale by 2^(log n - j) trees."""
+        b1 = phase_block(4, 4, 1, 2)
+        b2 = phase_block(6, 4, 1, 2)
+        assert b2.start_pair == 4 * b1.start_pair
+        assert b2.length_pairs == 4 * b1.length_pairs
+
+    @given(
+        log_n=st.integers(1, 14),
+        j=st.integers(1, 14),
+        k=st.integers(0, 13),
+        i=st.integers(0, 13),
+    )
+    def test_blocks_fit_workspace_and_are_mappable(self, log_n, j, k, i):
+        """Every block fits in n/2 pairs, has power-of-two length, and
+        starts at a multiple of its length (the Section-6.2.1 requirement
+        for rectangular 2D substreams)."""
+        if j > log_n or k >= j or i >= j - k:
+            return
+        block = phase_block(log_n, j, k, i)
+        n_pairs = 1 << (log_n - 1)
+        assert 0 <= block.start_pair < block.stop_pair <= n_pairs
+        length = block.length_pairs
+        assert length & (length - 1) == 0
+        assert block.start_pair % length == 0
+
+    def test_phase_out_of_range(self):
+        with pytest.raises(LayoutError):
+            phase_block(4, 4, 0, 4)
+        with pytest.raises(LayoutError):
+            phase_block(4, 4, 4, 0)
+
+    def test_unchecked_allows_one_past(self):
+        b = phase_block_unchecked(4, 4, 0, 4)
+        assert b.length_pairs == 1
+
+    def test_instances(self):
+        assert stage_instances(5, 4, 0) == 2
+        assert stage_instances(5, 4, 2) == 8
+        assert num_trees(5, 4) == 2
+        assert num_phases(4, 1) == 3
+
+
+class TestSchedules:
+    @given(j=st.integers(1, 16))
+    def test_sequential_phase_count(self, j):
+        steps = sequential_schedule(j)
+        assert len(steps) == total_sequential_phases(j) == (j * j + j) // 2
+
+    @given(j=st.integers(1, 16))
+    def test_overlapped_step_count(self, j):
+        steps = overlapped_schedule(j)
+        assert len(steps) == overlapped_step_count(j) == 2 * j - 1
+
+    @given(j=st.integers(1, 16))
+    def test_overlapped_covers_all_phases_once(self, j):
+        seen = set()
+        for active in overlapped_schedule(j):
+            for k, i in active:
+                assert (k, i) not in seen
+                seen.add((k, i))
+        expected = {(k, i) for k in range(j) for i in range(j - k)}
+        assert seen == expected
+
+    @given(j=st.integers(1, 16))
+    def test_overlapped_respects_dependencies(self, j):
+        """Phase i of stage k runs at step 2k+i: after phase i-1 of stage k
+        and after phase i+1 of stage k-1 (the Section-5.4 observation)."""
+        step_of = {}
+        for s, active in enumerate(overlapped_schedule(j)):
+            for k, i in active:
+                step_of[(k, i)] = s
+        for (k, i), s in step_of.items():
+            assert s == 2 * k + i
+            if i > 0:
+                assert step_of[(k, i - 1)] == s - 1
+            if k > 0 and (k - 1, i + 1) in step_of:
+                assert step_of[(k - 1, i + 1)] == s - 1
+
+    @given(j=st.integers(5, 16))
+    def test_truncated_step_count(self, j):
+        steps = truncated_overlapped_schedule(j, 4)
+        assert len(steps) == truncated_step_count(j, 4) == 2 * j - 5
+
+    @given(j=st.integers(5, 16))
+    def test_truncated_runs_full_phases_of_kept_stages(self, j):
+        seen = set()
+        for active in truncated_overlapped_schedule(j, 4):
+            seen.update(active)
+        expected = {(k, i) for k in range(j - 4) for i in range(j - k)}
+        assert seen == expected
+
+    def test_truncated_requires_j_above_cut(self):
+        with pytest.raises(LayoutError):
+            truncated_overlapped_schedule(4, 4)
+
+    @given(j=st.integers(1, 12), log_n=st.integers(1, 14))
+    def test_no_overlap_within_any_step(self, j, log_n):
+        """Section 5.4: blocks of one step never overlap."""
+        if j > log_n:
+            return
+        validate_no_overlap_within_step(log_n, j, overlapped_schedule(j))
+
+
+class TestLayoutSafety:
+    @pytest.mark.parametrize("schedule_name", ["sequential", "overlapped"])
+    @pytest.mark.parametrize("log_n,j", [(4, 4), (5, 4), (6, 6), (8, 8), (10, 7)])
+    def test_no_live_pair_overwritten(self, schedule_name, log_n, j):
+        """The Section-5.3 safety argument, checked exhaustively.
+
+        Replay the schedule tracking which phase wrote each pair.  Before a
+        phase (k, i) writes, every pair it *consumes* must still hold what
+        its producer wrote:
+
+        * phase 0 reads the previous stage's phase-1 block (roots) and
+          phase-0 block (spares);
+        * phase i >= 1 gathers nodes last written by stage k-1's phase
+          i+1 (or untouched input nodes).
+        """
+        if schedule_name == "sequential":
+            schedule = sequential_schedule(j)
+        else:
+            schedule = overlapped_schedule(j)
+        writer: dict[int, tuple[int, int]] = {}
+        for active in schedule:
+            # Check inputs against current state before any same-step write
+            for k, i in sorted(active):
+                if i == 0 and k > 0:
+                    roots = phase_block(log_n, j, k - 1, 1)
+                    spares = phase_block(log_n, j, k - 1, 0)
+                    for p in range(roots.start_pair, roots.stop_pair):
+                        assert writer.get(p) == (k - 1, 1), (
+                            f"roots of stage {k} clobbered at pair {p} by "
+                            f"{writer.get(p)}"
+                        )
+                    for p in range(spares.start_pair, spares.stop_pair):
+                        assert writer.get(p) == (k - 1, 0)
+                if i >= 2 and k >= 1 and i + 1 <= j - k:
+                    # Children gathered from the block stage k-1's phase
+                    # i+1 wrote (when that phase exists): must be intact.
+                    src = phase_block(log_n, j, k - 1, i + 1)
+                    for p in range(src.start_pair, src.stop_pair):
+                        assert writer.get(p) == (k - 1, i + 1)
+            for k, i in active:
+                block = phase_block(log_n, j, k, i)
+                for p in range(block.start_pair, block.stop_pair):
+                    writer[p] = (k, i)
+
+
+class TestPairLabels:
+    def test_phase0_labels_stage2(self):
+        labels = phase_pair_labels(4, 4, 2, 0)
+        assert [(a, b) for a, b, _t in labels] == [
+            (2, 1), (2, 0), (2, 1), (2, "s")
+        ]
+
+    def test_phase0_tree_major_order(self):
+        labels = phase_pair_labels(5, 4, 1, 0)
+        assert [(a, b, t) for a, b, t in labels] == [
+            (1, 0, 0), (1, "s", 0), (1, 0, 1), (1, "s", 1)
+        ]
+
+    def test_phaseI_labels(self):
+        labels = phase_pair_labels(4, 4, 1, 2)
+        assert [(a, b) for a, b, _t in labels] == [(3, 3), (3, 3)]
+
+    def test_tracker_row_count(self):
+        t = LayoutTracker(5, 4).run(overlapped_schedule(4))
+        assert len(t.rows) == 7
+        assert t.pairs == 16

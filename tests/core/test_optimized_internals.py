@@ -1,0 +1,122 @@
+"""White-box invariant tests for the Section-7 optimized path.
+
+These open up :class:`OptimizedGPUABiSorter` mid-run and verify the
+intermediate states the design relies on:
+
+* after the local sort, every 8-block is sorted in its alternating
+  direction;
+* after the truncated adaptive stages of a level, the sequence decomposes
+  into 16-blocks that are (a) *bitonic* and (b) *block-ordered* in the
+  tree's direction -- exactly the precondition under which the fixed
+  bitonic merge of 16 may replace the last four adaptive stages
+  (Section 7.2);
+* the traversal kernel's output is precisely that 16-block sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import layout
+from repro.core.optimized import MERGE_CUT, OptimizedGPUABiSorter
+from repro.core.values import make_values, reference_sort, values_greater
+from repro.stream.stream import VALUE_DTYPE
+from repro.workloads.generators import paper_workload
+
+
+def is_bitonic(keys: np.ndarray) -> bool:
+    """True iff some rotation of ``keys`` is ascending-then-descending.
+
+    Equivalent test: the cyclic sequence of rises/falls changes direction
+    at most twice (ties count as either)."""
+    n = keys.shape[0]
+    if n <= 2:
+        return True
+    diffs = np.diff(np.concatenate([keys, keys[:1]]).astype(np.float64))
+    signs = np.sign(diffs)
+    signs = signs[signs != 0]
+    if signs.size <= 2:
+        return True
+    changes = int(np.count_nonzero(signs != np.roll(signs, 1)))
+    return changes <= 2
+
+
+class _InstrumentedSorter(OptimizedGPUABiSorter):
+    """Capture the 16-block sequences the traversal kernel emits."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.captured_seqs: dict[int, np.ndarray] = {}
+        self.captured_local: np.ndarray | None = None
+
+    def _local_sort(self, state, values):
+        stream = super()._local_sort(state, values)
+        self.captured_local = stream.array().copy()
+        return stream
+
+    def _traverse16_op(self, state, j, seq):
+        super()._traverse16_op(state, j, seq)
+        self.captured_seqs[j] = seq.array().copy()
+
+
+@pytest.fixture(scope="module")
+def instrumented():
+    sorter = _InstrumentedSorter()
+    values = paper_workload(1 << 9, seed=5)
+    out = sorter.sort(values)
+    assert np.array_equal(out, reference_sort(values))
+    return sorter
+
+
+class TestLocalSortInvariant:
+    def test_blocks_sorted_alternating(self, instrumented):
+        local = instrumented.captured_local
+        for b in range(local.shape[0] // 8):
+            block = local[b * 8 : (b + 1) * 8]
+            ref = reference_sort(block)
+            if b & 1:
+                ref = ref[::-1]
+            assert np.array_equal(block, ref), b
+
+
+class TestTruncatedMergeInvariant:
+    def test_16_blocks_bitonic(self, instrumented):
+        for j, seq in instrumented.captured_seqs.items():
+            for b in range(seq.shape[0] // 16):
+                block = seq[b * 16 : (b + 1) * 16]
+                assert is_bitonic(block["key"]), (j, b)
+
+    def test_16_blocks_block_ordered(self, instrumented):
+        """Within a tree, every element of block b bounds block b+1 in the
+        tree's direction: the last-4-stages work really is local to the
+        16-blocks."""
+        for j, seq in instrumented.captured_seqs.items():
+            blocks_per_tree = (1 << j) // 16
+            n_trees = seq.shape[0] >> j
+            for t in range(n_trees):
+                descending = bool(t & 1)
+                tree = seq[t << j : (t + 1) << j]
+                for b in range(blocks_per_tree - 1):
+                    lo = tree[b * 16 : (b + 1) * 16]
+                    hi = tree[(b + 1) * 16 : (b + 2) * 16]
+                    if descending:
+                        lo, hi = hi, lo
+                    assert float(lo["key"].max()) <= float(hi["key"].min()), (
+                        j, t, b,
+                    )
+
+    def test_traversal_covers_levels(self, instrumented):
+        """Every level j >= 5 produced one traversal capture of n values."""
+        n = 1 << 9
+        assert set(instrumented.captured_seqs) == set(range(5, 10))
+        for seq in instrumented.captured_seqs.values():
+            assert seq.shape[0] == n
+
+
+class TestScheduleConsistency:
+    def test_truncated_schedule_matches_cut(self):
+        for j in range(5, 12):
+            steps = layout.truncated_overlapped_schedule(j, MERGE_CUT)
+            stages = {k for step in steps for k, _i in step}
+            assert stages == set(range(j - MERGE_CUT))

@@ -1,0 +1,173 @@
+"""Tests for the sequential reference implementation (repro.core.sequential).
+
+These pin down the Section-4 algorithms that everything else is verified
+against: correctness of both merge variants, the comparison-count laws, and
+the classic/simplified equivalence.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SortInputError
+from repro.analysis.complexity import (
+    abisort_comparison_count,
+    comparisons_upper_bound,
+    merge_comparison_count,
+)
+from repro.core.sequential import (
+    SequentialCounters,
+    adaptive_bitonic_merge_sequence,
+    adaptive_bitonic_sort_sequence,
+)
+
+
+def _pairs(keys):
+    return [(float(k), i) for i, k in enumerate(keys)]
+
+
+def bitonic_sequence(rng: np.random.Generator, n: int) -> list[tuple[float, int]]:
+    """A random bitonic sequence: ascending run then descending run."""
+    keys = rng.random(n)
+    half = n // 2
+    up = np.sort(keys[:half])
+    down = np.sort(keys[half:])[::-1]
+    return _pairs(np.concatenate([up, down]))
+
+
+class TestMergeCorrectness:
+    @pytest.mark.parametrize("variant", ["simplified", "classic"])
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256])
+    def test_merges_bitonic_ascending(self, variant, n, rng):
+        seq = bitonic_sequence(rng, n)
+        out = adaptive_bitonic_merge_sequence(seq, variant=variant)
+        assert out == sorted(seq)
+
+    @pytest.mark.parametrize("variant", ["simplified", "classic"])
+    def test_merges_bitonic_descending(self, variant, rng):
+        seq = bitonic_sequence(rng, 32)
+        out = adaptive_bitonic_merge_sequence(seq, descending=True, variant=variant)
+        assert out == sorted(seq, reverse=True)
+
+    @pytest.mark.parametrize("variant", ["simplified", "classic"])
+    def test_rotated_bitonic_input(self, variant):
+        """Any rotation of a bitonic sequence is bitonic (the definition)."""
+        base = [0, 2, 5, 9, 11, 7, 3, 1]
+        for rot in range(8):
+            seq = [(float(v), i) for i, v in enumerate(base[rot:] + base[:rot])]
+            out = adaptive_bitonic_merge_sequence(seq, variant=variant)
+            assert [k for k, _ in out] == sorted(float(v) for v in base)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SortInputError):
+            adaptive_bitonic_merge_sequence([(1.0, 0), (2.0, 1), (3.0, 2)])
+
+    @given(
+        data=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=8, max_size=8,
+        )
+    )
+    def test_merge_property_any_updown_input(self, data):
+        """Property: sorting the two halves oppositely then merging sorts.
+
+        The halves must be sorted under the full (key, id) total order --
+        with duplicate keys, sorting by key alone does not make the
+        concatenation bitonic.
+        """
+        pairs = [(float(k), i) for i, k in enumerate(data)]
+        up = sorted(pairs[:4])
+        down = sorted(pairs[4:], reverse=True)
+        seq = up + down
+        out = adaptive_bitonic_merge_sequence(seq)
+        assert out == sorted(seq)
+
+
+class TestSortCorrectness:
+    @pytest.mark.parametrize("variant", ["simplified", "classic"])
+    @pytest.mark.parametrize("n", [1, 2, 4, 16, 128, 512])
+    def test_sorts_random(self, variant, n, rng):
+        seq = _pairs(rng.random(n))
+        assert adaptive_bitonic_sort_sequence(seq, variant=variant) == sorted(seq)
+
+    @pytest.mark.parametrize("variant", ["simplified", "classic"])
+    def test_sorts_duplicates_by_id(self, variant):
+        seq = [(1.0, 3), (1.0, 1), (1.0, 2), (1.0, 0)]
+        out = adaptive_bitonic_sort_sequence(seq, variant=variant)
+        assert out == [(1.0, 0), (1.0, 1), (1.0, 2), (1.0, 3)]
+
+    def test_sorts_presorted_and_reversed(self):
+        seq = _pairs(np.arange(64, dtype=float))
+        assert adaptive_bitonic_sort_sequence(seq) == sorted(seq)
+        assert adaptive_bitonic_sort_sequence(seq[::-1]) == sorted(seq)
+
+    def test_empty_input(self):
+        assert adaptive_bitonic_sort_sequence([]) == []
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SortInputError):
+            adaptive_bitonic_sort_sequence(_pairs([1.0, 2.0, 3.0]))
+
+    @given(
+        keys=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=16, max_size=16,
+        )
+    )
+    def test_sort_property(self, keys):
+        seq = [(float(k), i) for i, k in enumerate(keys)]
+        assert adaptive_bitonic_sort_sequence(seq) == sorted(seq)
+
+
+class TestComparisonCounts:
+    @pytest.mark.parametrize("m", [2, 4, 8, 64, 1024])
+    def test_merge_count_matches_formula(self, m, rng):
+        """Section 4.1: a merge of m values makes 2m - log2(m) - 2
+        comparisons, data independently."""
+        counters = SequentialCounters()
+        adaptive_bitonic_merge_sequence(bitonic_sequence(rng, m), counters=counters)
+        assert counters.comparisons == merge_comparison_count(m)
+
+    @pytest.mark.parametrize("n", [2, 8, 64, 1024])
+    def test_sort_count_matches_formula_and_bound(self, n, rng):
+        counters = SequentialCounters()
+        adaptive_bitonic_sort_sequence(_pairs(rng.random(n)), counters)
+        assert counters.comparisons == abisort_comparison_count(n)
+        assert counters.comparisons < comparisons_upper_bound(n)
+
+    def test_count_is_data_independent(self, rng):
+        """The Section-8 observation: comparisons do not depend on data."""
+        counts = set()
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            counters = SequentialCounters()
+            adaptive_bitonic_sort_sequence(_pairs(r.random(256)), counters)
+            counts.add(counters.comparisons)
+        assert len(counts) == 1
+
+    def test_classic_and_simplified_same_comparisons(self, rng):
+        seq = _pairs(rng.random(128))
+        c1, c2 = SequentialCounters(), SequentialCounters()
+        out1 = adaptive_bitonic_sort_sequence(seq, c1, "simplified")
+        out2 = adaptive_bitonic_sort_sequence(seq, c2, "classic")
+        assert out1 == out2
+        assert c1.comparisons == c2.comparisons
+
+
+class TestVariantEquivalence:
+    @given(
+        keys=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=32, max_size=32,
+        )
+    )
+    def test_variants_agree_on_any_input(self, keys):
+        seq = [(float(k), i) for i, k in enumerate(keys)]
+        assert adaptive_bitonic_sort_sequence(
+            seq, variant="simplified"
+        ) == adaptive_bitonic_sort_sequence(seq, variant="classic")

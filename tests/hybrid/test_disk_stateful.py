@@ -1,0 +1,92 @@
+"""Stateful property test: SimulatedDisk against a dictionary model.
+
+Hypothesis drives random interleavings of writes, appends, reads and
+deletes against both the disk and a plain in-memory model; any divergence
+of contents (or missed error) is a bug in the disk's bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.hybrid.disk import SimulatedDisk
+from repro.stream.stream import VALUE_DTYPE
+
+
+def _values(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    out = np.empty(n, dtype=VALUE_DTYPE)
+    out["key"] = rng.random(n, dtype=np.float32)
+    out["id"] = rng.integers(0, 2**32, n, dtype=np.uint32)
+    return out
+
+
+class DiskModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.disk = SimulatedDisk(VALUE_DTYPE)
+        self.model: dict[str, np.ndarray] = {}
+
+    names = Bundle("names")
+
+    @rule(target=names, name=st.sampled_from("abcdef"))
+    def add_name(self, name):
+        return name
+
+    @rule(name=names, n=st.integers(1, 20), seed=st.integers(0, 99))
+    def write(self, name, n, seed):
+        data = _values(n, seed)
+        self.disk.write_file(name, data)
+        self.model[name] = data.copy()
+
+    @rule(name=names, n=st.integers(1, 10), seed=st.integers(0, 99))
+    def append(self, name, n, seed):
+        data = _values(n, seed)
+        self.disk.append(name, data)
+        old = self.model.get(name)
+        self.model[name] = (
+            data.copy() if old is None else np.concatenate([old, data])
+        )
+
+    @rule(name=names, offset=st.integers(0, 40), count=st.integers(0, 40))
+    def read(self, name, offset, count):
+        if name not in self.model:
+            return
+        expect = self.model[name]
+        if offset > expect.shape[0]:
+            return
+        got = self.disk.read(name, offset, count)
+        assert np.array_equal(got, expect[offset : offset + count])
+
+    @rule(name=names)
+    def delete(self, name):
+        if name not in self.model:
+            return
+        self.disk.delete(name)
+        del self.model[name]
+
+    @invariant()
+    def files_agree(self):
+        assert self.disk.files() == sorted(self.model)
+        for name, expect in self.model.items():
+            assert self.disk.size(name) == expect.shape[0]
+
+    @invariant()
+    def stats_monotone(self):
+        s = self.disk.stats
+        assert s.bytes_read >= 0 and s.bytes_written >= 0
+        assert s.seeks <= s.reads + s.writes
+
+
+DiskModel.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestDiskStateful = DiskModel.TestCase

@@ -1,0 +1,245 @@
+"""Tests for the hybrid out-of-core pipeline (repro.hybrid)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.values import make_values, reference_sort
+from repro.errors import SortInputError
+from repro.hybrid.disk import SimulatedDisk
+from repro.hybrid.external import ExternalSorter, LoserTree
+from repro.hybrid.keygen import (
+    DIGIT_BITS,
+    encode_high_word,
+    sort_wide_keys,
+)
+from repro.stream.stream import VALUE_DTYPE
+
+
+class TestSimulatedDisk:
+    def test_write_read_roundtrip(self, rng):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        data = make_values(rng.random(100, dtype=np.float32))
+        disk.write_file("a", data)
+        assert np.array_equal(disk.read("a", 0, 100), data)
+
+    def test_partial_and_overrun_read(self, rng):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        disk.write_file("a", make_values(rng.random(10, dtype=np.float32)))
+        assert disk.read("a", 8, 10).shape[0] == 2  # clipped at EOF
+
+    def test_append_grows_file(self, rng):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        disk.write_file("a", make_values(rng.random(4, dtype=np.float32)))
+        disk.append("a", make_values(rng.random(4, dtype=np.float32)))
+        assert disk.size("a") == 8
+
+    def test_sequential_access_one_seek(self, rng):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        disk.write_file("a", make_values(rng.random(100, dtype=np.float32)))
+        seeks0 = disk.stats.seeks
+        disk.read("a", 0, 50)
+        disk.read("a", 50, 50)  # continues at the head: no extra seek
+        assert disk.stats.seeks == seeks0 + 1
+
+    def test_random_access_counts_seeks(self, rng):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        disk.write_file("a", make_values(rng.random(100, dtype=np.float32)))
+        seeks0 = disk.stats.seeks
+        disk.read("a", 50, 10)
+        disk.read("a", 0, 10)
+        assert disk.stats.seeks == seeks0 + 2
+
+    def test_dtype_enforced(self):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        with pytest.raises(SortInputError):
+            disk.write_file("a", np.zeros(4, dtype=np.float32))
+
+    def test_missing_file(self):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        with pytest.raises(SortInputError):
+            disk.read("nope", 0, 1)
+
+    def test_io_time_model(self):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        disk.write_file("a", make_values(np.zeros(1 << 17, dtype=np.float32)))
+        t = disk.stats.io_time_ms(seek_ms=8.0, bandwidth_mb_s=60.0)
+        expected = 8.0 + (1 << 17) * 8 / 60e6 * 1e3
+        assert t == pytest.approx(expected)
+
+
+class TestLoserTree:
+    def test_merges_three_runs(self):
+        runs = [[1.0, 4.0, 7.0], [2.0, 5.0, 8.0], [3.0, 6.0, 9.0]]
+        tree = LoserTree(3)
+        cursors = [1, 1, 1]
+        tree.build([(r[0], i) for i, r in enumerate(runs)] + [None])
+        out = []
+        for _ in range(9):
+            key, _payload = tree.winner_entry()
+            run = tree.winner
+            out.append(key)
+            if cursors[run] < len(runs[run]):
+                tree.replace_winner(runs[run][cursors[run]], run, True)
+                cursors[run] += 1
+            else:
+                tree.replace_winner(np.inf, 0, False)
+        assert out == sorted(out)
+        assert tree.exhausted
+
+    def test_log_k_comparisons_per_pop(self):
+        k = 8
+        tree = LoserTree(k)
+        tree.build([(float(i), i) for i in range(k)])
+        tree.comparisons = 0
+        tree.replace_winner(100.0, 0, True)
+        assert tree.comparisons == 3  # log2(8)
+
+    def test_duplicate_keys_ordered_by_payload(self):
+        tree = LoserTree(2)
+        tree.build([(1.0, 5), (1.0, 3)])
+        assert tree.winner_entry() == (1.0, 3)
+
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(SortInputError):
+            LoserTree(0)
+
+    def test_rejects_too_many_entries(self):
+        tree = LoserTree(2)
+        with pytest.raises(SortInputError):
+            tree.build([(1.0, 0)] * 3)
+
+
+class TestExternalSorter:
+    @pytest.mark.parametrize("n,chunk,buffer", [
+        (100, 32, 8),
+        (1 << 12, 1 << 8, 64),
+        (777, 64, 16),
+        (64, 128, 8),     # single run (smaller than one chunk)
+        (65, 64, 1),      # two runs, minimal buffer
+    ])
+    def test_sorts_correctly(self, n, chunk, buffer, rng):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        data = make_values(rng.random(n, dtype=np.float32))
+        disk.write_file("in", data)
+        sorter = ExternalSorter(chunk_size=chunk, merge_buffer=buffer)
+        report = sorter.sort_file(disk, "in", "out")
+        out = disk.read("out", 0, n)
+        assert np.array_equal(out, reference_sort(data)), (n, chunk, buffer)
+        assert report.n == n
+        assert report.runs == -(-n // chunk)
+
+    def test_duplicate_keys_across_runs(self, rng):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        data = make_values(rng.integers(0, 3, 500).astype(np.float32))
+        disk.write_file("in", data)
+        ExternalSorter(chunk_size=64, merge_buffer=8).sort_file(disk, "in", "out")
+        assert np.array_equal(disk.read("out", 0, 500), reference_sort(data))
+
+    def test_report_populated(self, rng):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        disk.write_file("in", make_values(rng.random(512, dtype=np.float32)))
+        report = ExternalSorter(chunk_size=128, merge_buffer=32).sort_file(
+            disk, "in", "out"
+        )
+        assert report.gpu_modeled_ms > 0
+        assert report.merge_comparisons > 0
+        assert report.disk_bytes > 0
+        assert report.io_modeled_ms > 0
+        assert "runs" in report.summary()
+
+    def test_runs_cleaned_up(self, rng):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        disk.write_file("in", make_values(rng.random(300, dtype=np.float32)))
+        ExternalSorter(chunk_size=64, merge_buffer=16).sort_file(disk, "in", "out")
+        assert disk.files() == ["in", "out"]
+
+    def test_smaller_buffers_more_seeks(self, rng):
+        """The memory/I-O tradeoff is visible in the counters."""
+        data = make_values(rng.random(1 << 11, dtype=np.float32))
+        seeks = []
+        for buffer in (256, 8):
+            disk = SimulatedDisk(VALUE_DTYPE)
+            disk.write_file("in", data)
+            ExternalSorter(chunk_size=256, merge_buffer=buffer).sort_file(
+                disk, "in", "out"
+            )
+            seeks.append(disk.stats.seeks)
+        assert seeks[1] > seeks[0]
+
+    def test_invalid_configs(self):
+        with pytest.raises(SortInputError):
+            ExternalSorter(chunk_size=100)
+        with pytest.raises(SortInputError):
+            ExternalSorter(chunk_size=64, merge_buffer=0)
+
+    def test_empty_file_rejected(self):
+        disk = SimulatedDisk(VALUE_DTYPE)
+        disk.write_file("in", np.empty(0, dtype=VALUE_DTYPE))
+        with pytest.raises(SortInputError):
+            ExternalSorter(chunk_size=64).sort_file(disk, "in", "out")
+
+    @given(n=st.integers(1, 400), chunk_e=st.integers(4, 7))
+    @settings(max_examples=10)
+    def test_property_random_sizes(self, n, chunk_e):
+        rng = np.random.default_rng(n)
+        disk = SimulatedDisk(VALUE_DTYPE)
+        data = make_values(rng.random(n, dtype=np.float32))
+        disk.write_file("in", data)
+        ExternalSorter(chunk_size=1 << chunk_e, merge_buffer=16).sort_file(
+            disk, "in", "out"
+        )
+        assert np.array_equal(disk.read("out", 0, n), reference_sort(data))
+
+
+class TestWideKeys:
+    def test_encode_order_preserving(self):
+        keys = np.array([0, 1, 1 << 16, (1 << 16) + 5, 1 << 40], dtype=np.uint64)
+        enc = encode_high_word(keys, 16)
+        # digit at bits 16..31: [0, 0, 1, 1, 0]
+        assert list(enc) == [0.0, 0.0, 1.0, 1.0, 0.0]
+
+    def test_encode_rejects_bad_shift(self):
+        with pytest.raises(SortInputError):
+            encode_high_word(np.zeros(1, dtype=np.uint64), 60)
+
+    def test_sorts_random_uint64(self, rng):
+        keys = rng.integers(0, 1 << 63, 500, dtype=np.uint64)
+        order = sort_wide_keys(keys)
+        assert np.array_equal(keys[order], np.sort(keys))
+
+    def test_sorts_low_entropy_keys(self, rng):
+        """Keys differing only in the LOW digit force full refinement."""
+        keys = rng.integers(0, 1 << 12, 300, dtype=np.uint64)
+        order = sort_wide_keys(keys)
+        assert np.array_equal(keys[order], np.sort(keys))
+
+    def test_sorts_high_entropy_top_digit(self, rng):
+        keys = (rng.integers(0, 1 << 16, 200, dtype=np.uint64) << np.uint64(48))
+        order = sort_wide_keys(keys)
+        assert np.array_equal(keys[order], np.sort(keys))
+
+    def test_duplicates_stable_by_position(self):
+        keys = np.array([7, 7, 7, 3, 3], dtype=np.uint64)
+        order = sort_wide_keys(keys)
+        assert list(order) == [3, 4, 0, 1, 2]
+
+    def test_empty_and_single(self):
+        assert sort_wide_keys(np.array([], dtype=np.uint64)).shape == (0,)
+        assert list(sort_wide_keys(np.array([42], dtype=np.uint64))) == [0]
+
+    def test_rejects_2d(self):
+        with pytest.raises(SortInputError):
+            sort_wide_keys(np.zeros((2, 2), dtype=np.uint64))
+
+    @given(
+        keys=st.lists(st.integers(0, (1 << 64) - 1), min_size=0, max_size=60)
+    )
+    @settings(max_examples=20)
+    def test_property_any_uint64(self, keys):
+        arr = np.array(keys, dtype=np.uint64)
+        order = sort_wide_keys(arr)
+        assert np.array_equal(arr[order], np.sort(arr))

@@ -1,0 +1,38 @@
+"""Tests for iterator streams (repro.stream.iterator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.iterator import IteratorStream
+
+
+class TestIteratorStream:
+    def test_simple_range(self):
+        it = IteratorStream(5, 9)
+        assert len(it) == 4
+        assert list(it.values()) == [5, 6, 7, 8]
+
+    def test_empty_range_allowed(self):
+        assert len(IteratorStream(3, 3)) == 0
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            IteratorStream(5, 4)
+
+    def test_from_ranges_concatenates(self):
+        it = IteratorStream.from_ranges([(10, 12), (0, 2), (20, 21)])
+        assert list(it.values()) == [10, 11, 0, 1, 20]
+        assert len(it) == 5
+
+    def test_from_ranges_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            IteratorStream.from_ranges([])
+
+    def test_from_ranges_rejects_negative(self):
+        with pytest.raises(ValueError):
+            IteratorStream.from_ranges([(2, 1)])
+
+    def test_values_dtype(self):
+        assert IteratorStream(0, 3).values().dtype == np.int64

@@ -1,0 +1,343 @@
+"""Tests for the kernel machinery and stream machine
+(repro.stream.kernel / repro.stream.context)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, StreamError
+from repro.stream.context import StreamMachine
+from repro.stream.iterator import IteratorStream
+from repro.stream.stream import NODE_DTYPE, VALUE_DTYPE, make_values
+
+
+def brook() -> StreamMachine:
+    return StreamMachine(distinct_io=False)
+
+
+def gpu() -> StreamMachine:
+    return StreamMachine(distinct_io=True)
+
+
+class TestAllocation:
+    def test_alloc_and_peak(self):
+        m = gpu()
+        s = m.alloc("a", np.dtype(np.int64), 100)
+        assert len(s) == 100
+        assert m.allocated_bytes == 800
+        m.free(s)
+        assert m.allocated_bytes == 0
+        assert m.peak_alloc_bytes == 800
+
+    def test_duplicate_name_rejected(self):
+        m = gpu()
+        m.alloc("a", np.dtype(np.int64), 1)
+        with pytest.raises(StreamError):
+            m.alloc("a", np.dtype(np.int64), 1)
+
+    def test_free_foreign_stream_rejected(self):
+        m1, m2 = gpu(), gpu()
+        s = m1.alloc("a", np.dtype(np.int64), 1)
+        with pytest.raises(StreamError):
+            m2.free(s)
+
+    def test_wrap_adopts_array(self):
+        m = gpu()
+        s = m.wrap("w", np.arange(5, dtype=np.int64))
+        assert list(s.array()) == [0, 1, 2, 3, 4]
+
+
+class TestKernelExecution:
+    def test_map_kernel(self):
+        m = gpu()
+        src = m.wrap("src", np.arange(8, dtype=np.int64))
+        dst = m.alloc("dst", np.dtype(np.int64), 8)
+
+        def body(ctx):
+            ctx.push("out", ctx.read("in") * 2)
+
+        rec = m.kernel(
+            "double", instances=8, body=body,
+            inputs={"in": (src.whole(), 1)},
+            outputs={"out": (dst.whole(), 1)},
+        )
+        assert list(dst.array()) == [0, 2, 4, 6, 8, 10, 12, 14]
+        assert rec.instances == 8
+        assert rec.linear_read_elems == 8
+        assert rec.linear_write_elems == 8
+
+    def test_interleaved_push_order(self):
+        """Two pushes per instance land consecutively per instance."""
+        m = gpu()
+        src = m.wrap("src", np.arange(4, dtype=np.int64))
+        dst = m.alloc("dst", np.dtype(np.int64), 8)
+
+        def body(ctx):
+            x = ctx.read("in")
+            ctx.push("out", x)
+            ctx.push("out", x + 100)
+
+        m.kernel("k", instances=4, body=body,
+                 inputs={"in": (src.whole(), 1)},
+                 outputs={"out": (dst.whole(), 2)})
+        assert list(dst.array()) == [0, 100, 1, 101, 2, 102, 3, 103]
+
+    def test_interleaved_read_order(self):
+        """Two reads per instance deinterleave the input."""
+        m = gpu()
+        src = m.wrap("src", np.arange(8, dtype=np.int64))
+        dst = m.alloc("dst", np.dtype(np.int64), 4)
+
+        def body(ctx):
+            a = ctx.read("in")
+            b = ctx.read("in")
+            ctx.push("out", b - a)
+
+        m.kernel("k", instances=4, body=body,
+                 inputs={"in": (src.whole(), 2)},
+                 outputs={"out": (dst.whole(), 1)})
+        assert list(dst.array()) == [1, 1, 1, 1]  # pairs (0,1), (2,3), ...
+
+    def test_gather_counts_and_reads(self):
+        m = gpu()
+        table = m.wrap("table", np.arange(10, dtype=np.int64) * 10)
+        dst = m.alloc("dst", np.dtype(np.int64), 3)
+
+        def body(ctx):
+            idx = ctx.const("idx")
+            ctx.push("out", ctx.gather("table", idx))
+
+        rec = m.kernel("k", instances=3, body=body,
+                       gathers={"table": table},
+                       consts={"idx": np.array([9, 0, 5])},
+                       outputs={"out": (dst.whole(), 1)})
+        assert list(dst.array()) == [90, 0, 50]
+        assert rec.gather_elems == 3
+
+    def test_gather_out_of_bounds(self):
+        m = gpu()
+        table = m.wrap("table", np.arange(4, dtype=np.int64))
+        dst = m.alloc("dst", np.dtype(np.int64), 1)
+
+        def body(ctx):
+            ctx.push("out", ctx.gather("table", np.array([4])))
+
+        with pytest.raises(KernelError, match="out of bounds"):
+            m.kernel("k", instances=1, body=body,
+                     gathers={"table": table},
+                     outputs={"out": (dst.whole(), 1)})
+
+    def test_iterator_stream_free_of_memory_traffic(self):
+        m = gpu()
+        dst = m.alloc("dst", np.dtype(np.int64), 4)
+
+        def body(ctx):
+            ctx.push("out", ctx.read_iter("it"))
+
+        rec = m.kernel("k", instances=4, body=body,
+                       iterators={"it": (IteratorStream(10, 14), 1)},
+                       outputs={"out": (dst.whole(), 1)})
+        assert list(dst.array()) == [10, 11, 12, 13]
+        assert rec.linear_read_elems == 0
+        assert rec.linear_read_bytes == 0
+
+    def test_under_read_rejected(self):
+        m = gpu()
+        src = m.wrap("src", np.arange(4, dtype=np.int64))
+        dst = m.alloc("dst", np.dtype(np.int64), 4)
+
+        def body(ctx):
+            ctx.push("out", np.zeros(4, dtype=np.int64))
+
+        with pytest.raises(KernelError, match="read 0 elements"):
+            m.kernel("k", instances=4, body=body,
+                     inputs={"in": (src.whole(), 1)},
+                     outputs={"out": (dst.whole(), 1)})
+
+    def test_under_push_rejected(self):
+        m = gpu()
+        src = m.wrap("src", np.arange(4, dtype=np.int64))
+        dst = m.alloc("dst", np.dtype(np.int64), 4)
+
+        def body(ctx):
+            ctx.read("in")
+
+        with pytest.raises(KernelError, match="pushed 0 elements"):
+            m.kernel("k", instances=4, body=body,
+                     inputs={"in": (src.whole(), 1)},
+                     outputs={"out": (dst.whole(), 1)})
+
+    def test_over_push_rejected(self):
+        m = gpu()
+        dst = m.alloc("dst", np.dtype(np.int64), 4)
+
+        def body(ctx):
+            ctx.push("out", np.zeros(4, dtype=np.int64))
+            ctx.push("out", np.zeros(4, dtype=np.int64))
+
+        with pytest.raises(KernelError, match="over-pushed"):
+            m.kernel("k", instances=4, body=body,
+                     outputs={"out": (dst.whole(), 1)})
+
+    def test_push_wrong_length_rejected(self):
+        m = gpu()
+        dst = m.alloc("dst", np.dtype(np.int64), 4)
+
+        def body(ctx):
+            ctx.push("out", np.zeros(3, dtype=np.int64))
+
+        with pytest.raises(KernelError, match="one element per instance"):
+            m.kernel("k", instances=4, body=body,
+                     outputs={"out": (dst.whole(), 1)})
+
+    def test_substream_size_mismatch_rejected(self):
+        m = gpu()
+        src = m.wrap("src", np.arange(4, dtype=np.int64))
+        dst = m.alloc("dst", np.dtype(np.int64), 8)
+        with pytest.raises(KernelError, match="substream length"):
+            m.kernel("k", instances=4, body=lambda ctx: None,
+                     inputs={"in": (src.whole(), 1)},
+                     outputs={"out": (dst.whole(), 1)})
+
+
+class TestScatterIsImpossible:
+    def test_no_scatter_primitive(self):
+        """The KernelContext deliberately exposes no write-to-address."""
+        from repro.stream.kernel import KernelContext
+
+        assert not hasattr(KernelContext, "scatter")
+        assert not any("scatter" in name for name in dir(KernelContext))
+
+
+class TestDistinctIO:
+    def test_gpu_mode_rejects_same_stream_in_out(self):
+        m = gpu()
+        s = m.wrap("s", np.arange(8, dtype=np.int64))
+
+        def body(ctx):
+            ctx.push("out", ctx.read("in"))
+
+        with pytest.raises(StreamError, match="distinct"):
+            m.kernel("k", instances=4, body=body,
+                     inputs={"in": (s.sub(0, 4), 1)},
+                     outputs={"out": (s.sub(0, 4), 1)})
+
+    def test_gpu_mode_rejects_distinct_substreams_of_same_stream(self):
+        """Section 6.1: distinct substreams of one stream do NOT suffice."""
+        m = gpu()
+        s = m.wrap("s", np.arange(8, dtype=np.int64))
+
+        def body(ctx):
+            ctx.push("out", ctx.read("in"))
+
+        with pytest.raises(StreamError, match="distinct"):
+            m.kernel("k", instances=4, body=body,
+                     inputs={"in": (s.sub(0, 4), 1)},
+                     outputs={"out": (s.sub(4, 8), 1)})
+
+    def test_gpu_mode_rejects_output_into_gather_stream(self):
+        m = gpu()
+        s = m.wrap("s", np.arange(8, dtype=np.int64))
+        with pytest.raises(StreamError, match="distinct"):
+            m.kernel("k", instances=4, body=lambda ctx: None,
+                     gathers={"g": s},
+                     outputs={"out": (s.sub(0, 4), 1)})
+
+    def test_brook_mode_allows_same_stream_with_read_before_write(self):
+        m = brook()
+        s = m.wrap("s", np.arange(4, dtype=np.int64))
+
+        def body(ctx):
+            ctx.push("out", ctx.read("in")[::-1].copy())
+
+        m.kernel("k", instances=4, body=body,
+                 inputs={"in": (s.whole(), 1)},
+                 outputs={"out": (s.whole(), 1)})
+        assert list(s.array()) == [3, 2, 1, 0]
+
+    def test_copy_overlap_rejected_in_gpu_mode(self):
+        m = gpu()
+        s = m.wrap("s", np.arange(8, dtype=np.int64))
+        with pytest.raises(StreamError):
+            m.copy(s.sub(0, 4), s.sub(2, 6))
+
+
+class TestValueOnlyPorts:
+    def test_value_only_output_preserves_links(self):
+        m = gpu()
+        nodes = m.alloc("nodes", NODE_DTYPE, 2)
+        nodes.array()["left"] = [7, 8]
+        vals = make_values(np.array([1.0, 2.0], dtype=np.float32))
+        src = m.wrap("src", vals)
+
+        def body(ctx):
+            ctx.push("out", ctx.read("in"))
+
+        m.kernel("k", instances=2, body=body,
+                 inputs={"in": (src.whole(), 1)},
+                 value_only_outputs={"out": (nodes.whole(), 1)})
+        arr = nodes.array()
+        assert list(arr["key"]) == [np.float32(1.0), np.float32(2.0)]
+        assert list(arr["left"]) == [7, 8]  # untouched
+
+    def test_value_only_input_reads_value_dtype(self):
+        m = gpu()
+        nodes = m.alloc("nodes", NODE_DTYPE, 2)
+        nodes.array()["key"] = [3.0, 4.0]
+        nodes.array()["id"] = [5, 6]
+        dst = m.alloc("dst", VALUE_DTYPE, 2)
+        seen = {}
+
+        def body(ctx):
+            v = ctx.read("in")
+            seen["dtype"] = v.dtype
+            ctx.push("out", v)
+
+        rec = m.kernel("k", instances=2, body=body,
+                       value_only_inputs={"in": (nodes.whole(), 1)},
+                       outputs={"out": (dst.whole(), 1)})
+        assert seen["dtype"] == VALUE_DTYPE
+        assert list(dst.array()["id"]) == [5, 6]
+        # Byte accounting uses the value payload size, not the node size.
+        assert rec.linear_read_bytes == 2 * VALUE_DTYPE.itemsize
+
+
+class TestCopies:
+    def test_copy_values_between_node_streams(self):
+        m = gpu()
+        a = m.alloc("a", NODE_DTYPE, 4)
+        b = m.alloc("b", NODE_DTYPE, 4)
+        a.array()["key"] = [1, 2, 3, 4]
+        b.array()["left"] = [9, 9, 9, 9]
+        m.copy_values(a.whole(), b.whole())
+        assert list(b.array()["key"]) == [1, 2, 3, 4]
+        assert list(b.array()["left"]) == [9, 9, 9, 9]
+
+    def test_copy_is_logged(self):
+        m = gpu()
+        a = m.wrap("a", np.arange(4, dtype=np.int64))
+        b = m.alloc("b", np.dtype(np.int64), 4)
+        m.copy(a.whole(), b.whole())
+        assert m.counters().copy_ops == 1
+        assert list(b.array()) == [0, 1, 2, 3]
+
+
+class TestCounters:
+    def test_ops_by_tag(self):
+        m = gpu()
+        a = m.wrap("a", np.arange(2, dtype=np.int64))
+        b = m.alloc("b", np.dtype(np.int64), 2)
+        m.copy(a.whole(), b.whole(), tag="t1")
+        m.copy(b.whole(), a.whole(), tag="t2")
+        groups = m.ops_by_tag()
+        assert set(groups) == {"t1", "t2"}
+
+    def test_reset_log_keeps_allocation(self):
+        m = gpu()
+        a = m.wrap("a", np.arange(2, dtype=np.int64))
+        b = m.alloc("b", np.dtype(np.int64), 2)
+        m.copy(a.whole(), b.whole())
+        m.reset_log()
+        assert m.counters().stream_ops == 0
+        assert m.allocated_bytes > 0

@@ -1,0 +1,159 @@
+"""Tests for the 1D<->2D mappings (repro.stream.mapping2d).
+
+Includes property tests of the three Z-order propositions the paper states
+in Section 6.2.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.stream.mapping2d import (
+    RowWiseMapping,
+    ZOrderMapping,
+    assert_layout_block_is_mappable,
+    morton_decode,
+    morton_encode,
+)
+
+indexes = st.integers(0, 2**31 - 1)
+pow2 = st.integers(0, 20).map(lambda e: 1 << e)
+
+
+class TestRowWise:
+    def test_forward(self):
+        m = RowWiseMapping(8)
+        assert m.to_2d(0) == (0, 0)
+        assert m.to_2d(7) == (7, 0)
+        assert m.to_2d(8) == (0, 1)
+        assert m.to_2d(13) == (5, 1)
+
+    @given(a=indexes)
+    def test_roundtrip(self, a):
+        m = RowWiseMapping(2048)
+        ax, ay = m.to_2d(a)
+        assert m.from_2d(ax, ay) == a
+
+    def test_vectorised_matches_scalar(self):
+        m = RowWiseMapping(16)
+        a = np.arange(100)
+        ax, ay = m.to_2d(a)
+        for i in range(100):
+            assert (ax[i], ay[i]) == m.to_2d(int(a[i]))
+
+    def test_rejects_non_pow2_width(self):
+        with pytest.raises(ModelError):
+            RowWiseMapping(100)
+
+    def test_block_within_row(self):
+        """l <= w: the block lies completely within a single line."""
+        m = RowWiseMapping(8)
+        rects = m.block_rects(16, 4)  # start multiple of length
+        assert len(rects) == 1
+        assert (rects[0].w, rects[0].h) == (4, 1)
+
+    def test_block_spanning_rows(self):
+        """l >= w: the block spans l/w complete lines."""
+        m = RowWiseMapping(8)
+        rects = m.block_rects(16, 32)
+        assert len(rects) == 1
+        assert (rects[0].x, rects[0].y, rects[0].w, rects[0].h) == (0, 2, 8, 4)
+
+    def test_unaligned_block_splits(self):
+        m = RowWiseMapping(8)
+        rects = m.block_rects(6, 4)  # crosses a row boundary
+        assert sum(r.area for r in rects) == 4
+        assert len(rects) == 2
+
+
+class TestMorton:
+    def test_paper_definition_bits(self):
+        """ax has the even bits, ay the odd bits."""
+        a = 0b110110
+        ax, ay = morton_decode(a)
+        assert ax == 0b110  # even-position bits a4, a2, a0 = 1, 1, 0
+        assert ay == 0b101  # odd-position bits a5, a3, a1 = 1, 0, 1
+
+    @given(a=indexes)
+    def test_roundtrip(self, a):
+        ax, ay = morton_decode(a)
+        assert int(morton_encode(ax, ay)) == a
+
+    @given(a=indexes.filter(lambda x: x < 2**30))
+    def test_proposition_1_doubling(self, a):
+        """2a maps to (2*ay, ax)."""
+        ax, ay = morton_decode(a)
+        bx, by = morton_decode(2 * a)
+        assert (bx, by) == (2 * ay, ax)
+
+    @given(s=pow2, a=indexes)
+    def test_proposition_2_aligned_offset(self, s, a):
+        """For power-of-two s and a < s: s + a maps to (sx+ax, sy+ay)."""
+        a = a % s if s > 1 else 0
+        sx, sy = morton_decode(s)
+        ax, ay = morton_decode(a)
+        rx, ry = morton_decode(s + a)
+        assert (rx, ry) == (sx + ax, sy + ay)
+
+    @given(l=st.integers(1, 26).map(lambda e: 1 << e))
+    def test_proposition_3_block_shape(self, l):
+        """l-1 maps to a square or exactly-2:1 rectangle of area l."""
+        lx, ly = morton_decode(l - 1)
+        w, h = int(lx) + 1, int(ly) + 1
+        assert w * h == l
+        assert w == h or w == 2 * h
+
+
+class TestZOrderBlocks:
+    def test_aligned_block_single_rect(self):
+        m = ZOrderMapping()
+        rects = m.block_rects(16, 16)
+        assert len(rects) == 1
+        assert rects[0].area == 16
+        assert rects[0].aspect in (1.0, 2.0)
+
+    @given(
+        e=st.integers(0, 10),
+        mult=st.integers(0, 64),
+    )
+    def test_aligned_blocks_square_or_2to1(self, e, mult):
+        """Every Table-1-style block (power-of-two length, aligned start)
+        maps to one square or 2:1 rectangle -- the paper's conclusion."""
+        m = ZOrderMapping()
+        length = 1 << e
+        start = mult * length
+        rects = m.block_rects(start, length)
+        assert len(rects) == 1
+        assert rects[0].area == length
+        assert rects[0].aspect in (1.0, 2.0)
+
+    def test_rect_covers_exactly_the_block(self):
+        m = ZOrderMapping()
+        start, length = 32, 16
+        (rect,) = m.block_rects(start, length)
+        idx = np.arange(start, start + length)
+        ax, ay = m.to_2d(idx)
+        assert ax.min() == rect.x and ax.max() == rect.x + rect.w - 1
+        assert ay.min() == rect.y and ay.max() == rect.y + rect.h - 1
+
+    def test_unaligned_decomposition_covers_block(self):
+        m = ZOrderMapping()
+        rects = m.block_rects(3, 13)
+        assert sum(r.area for r in rects) == 13
+
+
+class TestLayoutMappability:
+    def test_valid_block(self):
+        assert_layout_block_is_mappable(16, 8, 2048) is None
+
+    def test_bad_length(self):
+        with pytest.raises(ModelError):
+            assert_layout_block_is_mappable(16, 6, 2048)
+
+    def test_bad_alignment(self):
+        with pytest.raises(ModelError):
+            assert_layout_block_is_mappable(4, 8, 2048)

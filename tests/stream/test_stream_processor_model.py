@@ -1,0 +1,60 @@
+"""Tests for the Imagine/Merrimac-class cost model
+(repro.stream.stream_processor_model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.stream.stream_processor_model import (
+    IMAGINE_CLASS,
+    MERRIMAC_CLASS,
+    StreamProcessorModel,
+    estimate_stream_processor_time_ms,
+)
+from tests.stream.test_gpu_model import op
+
+
+class TestModelValidation:
+    def test_presets(self):
+        assert IMAGINE_CLASS.alu_clusters == 8
+        assert MERRIMAC_CLASS.clock_mhz == 1000.0
+
+    def test_invalid(self):
+        with pytest.raises(ModelError):
+            StreamProcessorModel("x", 0, 100, 1, 1, 1)
+        with pytest.raises(ModelError):
+            StreamProcessorModel("x", 8, 100, 0, 1, 1)
+
+
+class TestCost:
+    def test_streaming_reads_have_no_mapping_term(self):
+        """Linear reads cost pure bandwidth -- regardless of block shape
+        (the stream-processor property the module exists to model)."""
+        thin = op(instances=1, rb=10**8, in_blocks=[("s", [(0, 64)])])
+        square = op(instances=1, rb=10**8, in_blocks=[("s", [(0, 4096)])])
+        t_thin = estimate_stream_processor_time_ms([thin], IMAGINE_CLASS).total_ms
+        t_square = estimate_stream_processor_time_ms([square], IMAGINE_CLASS).total_ms
+        assert t_thin == pytest.approx(t_square)
+
+    def test_gathers_use_slow_path(self):
+        lin = op(instances=1, rb=10**8)
+        gat = op(instances=1, gb=10**8)
+        t_lin = estimate_stream_processor_time_ms([lin], IMAGINE_CLASS).total_ms
+        t_gat = estimate_stream_processor_time_ms([gat], IMAGINE_CLASS).total_ms
+        assert t_gat > 5 * t_lin  # 32 GB/s SRF vs 2 GB/s gather path
+
+    def test_compute_scales_with_clusters(self):
+        big = op(instances=10_000_000)
+        t8 = estimate_stream_processor_time_ms([big], IMAGINE_CLASS).total_ms
+        import dataclasses
+
+        doubled = dataclasses.replace(IMAGINE_CLASS, alu_clusters=16)
+        t16 = estimate_stream_processor_time_ms([big], doubled).total_ms
+        assert t8 / t16 == pytest.approx(2.0, rel=0.05)
+
+    def test_overhead_accumulates_per_op(self):
+        ops = [op(instances=1) for _ in range(10)]
+        cost = estimate_stream_processor_time_ms(ops, MERRIMAC_CLASS)
+        assert cost.ops == 10
+        assert cost.overhead_ms == pytest.approx(10 * 1e-3)

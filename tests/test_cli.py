@@ -1,0 +1,68 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCLI:
+    def test_sort_command(self, capsys):
+        assert main(["sort", "--n", "256", "--dist", "uniform"]) == 0
+        out = capsys.readouterr().out
+        assert "sorted 256 pairs" in out
+        assert "stream ops" in out
+        assert "GeForce 6800" in out and "GeForce 7800" in out
+
+    def test_sort_variants(self, capsys):
+        assert main(["sort", "--n", "64", "--schedule", "sequential",
+                     "--no-optimized"]) == 0
+        assert "sorted 64 pairs" in capsys.readouterr().out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "32 31 32 30 32 31 32 3s" in out
+        assert "Figure 6" not in out
+
+    def test_figures_all(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Figure 1", "Figure 4", "Figure 5", "Figure 6", "Figure 7"):
+            assert name in out
+
+    def test_table3_with_sizes(self, capsys):
+        assert main(["table3", "--sizes", "1024", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "GPU-ABiSort" in out
+        assert "time vs n" in out  # the plot companion
+
+    def test_ops_command(self, capsys):
+        assert main(["ops", "--n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "Appendix A" in out
+        assert "Section 7" in out
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "--n", "256", "--gpu", "6800"]) == 0
+        out = capsys.readouterr().out
+        assert "run profile on GeForce 6800" in out
+        assert "level8" in out
+
+    def test_report_command(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduction checklist" in out
+        assert "FAIL" not in out
+        assert "12/12 checks passed" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable.  Each runs in-process (imported as a module and ``main()``
+called) so failures produce real tracebacks and coverage.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = load_module(path)
+    # Scripts expose main() (or paired demo functions) and guard with
+    # __main__; run them explicitly.
+    if hasattr(module, "main"):
+        module.main()
+    else:
+        ran = False
+        for name in dir(module):
+            if name.endswith("_demo"):
+                getattr(module, name)()
+                ran = True
+        assert ran, f"{path.stem} has neither main() nor *_demo()"
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} produced no output"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "particle_depth_sort",
+        "database_sort",
+        "stream_layout_tour",
+        "scalability_study",
+        "out_of_core_sort",
+    } <= names
