@@ -1,10 +1,12 @@
 """Library-throughput microbenchmarks (not a paper experiment).
 
 Per the "no optimization without measuring" rule, these track the wall-time
-hot spots of the *simulation itself*: the full sorters, the individual
-vectorised kernels, the Morton mapping, and the cache simulator.  They give
-pytest-benchmark statistics a regression baseline -- the numbers are about
-this library's Python performance, not about the modeled 2006 hardware.
+hot spots of the *simulation itself*: the full sorters (dispatched through
+the unified engine API, with ``model_time=False`` so the cost model stays
+out of the measurement), the individual vectorised kernels, the Morton
+mapping, and the cache simulator.  They give pytest-benchmark statistics a
+regression baseline -- the numbers are about this library's Python
+performance, not about the modeled 2006 hardware.
 """
 
 from __future__ import annotations
@@ -14,8 +16,6 @@ from functools import partial
 import numpy as np
 
 import repro
-from repro.baselines.bitonic_network import bitonic_network_sort
-from repro.baselines.cpu_sort import quicksort
 from repro.core import kernels
 from repro.stream.cache import CacheConfig, TextureCacheSim
 from repro.stream.context import StreamMachine
@@ -26,30 +26,39 @@ from repro.workloads.generators import paper_workload
 N = 1 << 13
 
 
+def _engine_throughput(benchmark, engine: str, n: int = N):
+    """Benchmark one registered engine end to end (telemetry counted, cost
+    model off); the engine instance is reused across rounds, as in
+    :func:`repro.sort_batch`."""
+    request = repro.SortRequest(values=paper_workload(n), model_time=False)
+    eng = repro.engines.get(engine)
+    result = benchmark(eng.sort, request)
+    assert result.values.shape == (n,)
+    assert result.telemetry.n == n
+    return result
+
+
 def test_throughput_abisort_optimized(benchmark):
-    values = paper_workload(N)
-    sorter = repro.make_sorter(repro.ABiSortConfig())
-    out = benchmark(sorter.sort, values)
-    assert out.shape == (N,)
+    _engine_throughput(benchmark, "abisort")
 
 
 def test_throughput_abisort_unoptimized(benchmark):
-    values = paper_workload(N)
-    sorter = repro.make_sorter(repro.ABiSortConfig(optimized=False))
-    out = benchmark(sorter.sort, values)
-    assert out.shape == (N,)
+    _engine_throughput(benchmark, "abisort-overlapped")
 
 
 def test_throughput_bitonic_network(benchmark):
-    values = paper_workload(N)
-    out = benchmark(bitonic_network_sort, values)
-    assert out.shape == (N,)
+    result = _engine_throughput(benchmark, "bitonic-network")
+    assert result.telemetry.stream_ops > 0
 
 
 def test_throughput_quicksort(benchmark):
-    values = paper_workload(N)
-    out = benchmark(quicksort, values)
-    assert out.shape == (N,)
+    result = _engine_throughput(benchmark, "cpu-quicksort")
+    assert result.telemetry.cpu_ops > 0
+
+
+def test_throughput_external(benchmark):
+    result = _engine_throughput(benchmark, "external")
+    assert result.telemetry.disk_bytes > 0
 
 
 def test_throughput_local_sort_kernel(benchmark):

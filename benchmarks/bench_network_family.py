@@ -2,11 +2,12 @@
 
 The paper's related work names three GPU sorting-network lineages: bitonic
 (Purcell, Kipfer, GPUSort), odd-even merge (Kipfer/Westermann) and the
-periodic balanced network (Govindaraju et al. [GRM05]).  All three are
-implemented here on the same stream machine, so their pass counts, moved
-bytes, and modeled times can be compared directly against GPU-ABiSort --
-the quantitative form of the paper's observation that *every* prior GPU
-sorter does Theta(n log^2 n) work.
+periodic balanced network (Govindaraju et al. [GRM05]).  All are registered
+sort engines, so the comparison dispatches through the unified API
+(:func:`repro.sort`) and reads pass counts, moved bytes, and modeled times
+off each :class:`~repro.engines.base.SortResult`'s telemetry -- the
+quantitative form of the paper's observation that *every* prior GPU sorter
+does Theta(n log^2 n) work.
 """
 
 from __future__ import annotations
@@ -16,15 +17,17 @@ import math
 import numpy as np
 
 import repro
-from repro.baselines.bitonic_network import gpusort_stream
-from repro.baselines.odd_even_merge import odd_even_merge_stream
-from repro.baselines.periodic_balanced import periodic_balanced_stream
 from repro.core.values import reference_sort
-from repro.stream.gpu_model import GEFORCE_7800_GTX, estimate_gpu_time_ms
-from repro.stream.mapping2d import ZOrderMapping
 from repro.workloads.generators import paper_workload
 
 N = 1 << 12
+
+ENGINES = {
+    "bitonic (GPUSort)": "bitonic-network",
+    "odd-even merge": "odd-even-merge",
+    "periodic balanced": "periodic-balanced",
+    "GPU-ABiSort": "abisort",
+}
 
 
 def test_network_family_comparison(benchmark):
@@ -33,27 +36,11 @@ def test_network_family_comparison(benchmark):
 
     def run():
         rows = {}
-        for name, stream_sorter in (
-            ("bitonic (GPUSort)", gpusort_stream),
-            ("odd-even merge", odd_even_merge_stream),
-            ("periodic balanced", periodic_balanced_stream),
-        ):
-            out, machine = stream_sorter(values)
-            assert np.array_equal(out, expected), name
-            counters = machine.counters()
-            cost = estimate_gpu_time_ms(
-                machine.ops, GEFORCE_7800_GTX,
-                fixed_read_efficiency=GEFORCE_7800_GTX.tiled_read_efficiency,
-            )
-            rows[name] = (counters.stream_ops, counters.total_bytes, cost.total_ms)
-        sorter = repro.make_sorter(repro.ABiSortConfig())
-        out = sorter.sort(values)
-        assert np.array_equal(out, expected)
-        counters = sorter.last_machine.counters()
-        cost = estimate_gpu_time_ms(
-            sorter.last_machine.ops, GEFORCE_7800_GTX, ZOrderMapping()
-        )
-        rows["GPU-ABiSort"] = (counters.stream_ops, counters.total_bytes, cost.total_ms)
+        for name, engine in ENGINES.items():
+            result = repro.sort(repro.SortRequest(values=values), engine=engine)
+            assert np.array_equal(result.values, expected), name
+            t = result.telemetry
+            rows[name] = (t.stream_ops, t.bytes_moved, t.modeled_gpu_ms)
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -2,9 +2,9 @@
 
 Run:  python examples/quickstart.py
 
-Covers the essentials: building VALUE arrays, sorting, variants, and
-reading the stream-operation counters that the paper's complexity story is
-about.
+Covers the essentials: the unified engine API (repro.sort / SortRequest /
+SortResult), the classic convenience functions, variants, and the
+stream-operation telemetry that the paper's complexity story is about.
 """
 
 from __future__ import annotations
@@ -35,20 +35,30 @@ def main() -> None:
     skeys, sids = repro.sort_key_value(keys)
     assert np.array_equal(keys[sids], skeys)
 
+    # The unified engine API: build a SortRequest (plain keys work; ids
+    # default to positions) and dispatch it through any registered backend.
+    # The SortResult carries the telemetry the old code scraped off
+    # sorter.last_machine.
+    res = repro.sort(repro.SortRequest(keys=keys))
+    assert np.array_equal(res.values, result)
+    print(f"engine {res.engine!r}: {res.telemetry.summary()}")
+    print(f"registered engines: {', '.join(repro.engines.available())}")
+
     # Variants: the faithful Appendix-A program (O(log^3 n) stream ops) vs
-    # the overlapped one (O(log^2 n)), with or without Section 7.
-    for label, cfg in [
-        ("Appendix A, unoptimized ", repro.ABiSortConfig(schedule="sequential", optimized=False)),
-        ("overlapped, unoptimized ", repro.ABiSortConfig(schedule="overlapped", optimized=False)),
-        ("overlapped, optimized   ", repro.ABiSortConfig(schedule="overlapped", optimized=True)),
+    # the overlapped one (O(log^2 n)), with or without Section 7 -- each a
+    # registered engine.
+    for label, engine in [
+        ("Appendix A, unoptimized ", "abisort-sequential"),
+        ("overlapped, unoptimized ", "abisort-overlapped"),
+        ("overlapped, optimized   ", "abisort"),
     ]:
-        sorter = repro.make_sorter(cfg)
-        out = sorter.sort(values)
-        assert np.array_equal(out, result)
-        counters = sorter.last_machine.counters()
-        print(f"{label}: {counters.stream_ops:5d} stream ops, "
-              f"{counters.instances:9d} kernel instances, "
-              f"{counters.total_bytes / 1e6:7.1f} MB moved")
+        res = repro.sort(repro.SortRequest(keys=keys, model_time=False),
+                         engine=engine)
+        assert np.array_equal(res.values, result)
+        t = res.telemetry
+        print(f"{label}: {t.stream_ops:5d} stream ops, "
+              f"{t.kernel_instances:9d} kernel instances, "
+              f"{t.bytes_moved / 1e6:7.1f} MB moved")
 
 
 if __name__ == "__main__":

@@ -11,17 +11,28 @@ on a software-simulated stream machine.  See README.md for a tour,
 DESIGN.md for the system inventory and per-experiment index, and
 EXPERIMENTS.md for the paper-vs-measured record.
 
-Quick start::
+Quick start (the unified engine API)::
 
     import numpy as np
     import repro
 
     rng = np.random.default_rng(7)
-    values = repro.make_values(rng.random(2**14, dtype=np.float32))
-    out = repro.abisort(values)
+    result = repro.sort(repro.SortRequest(keys=rng.random(10_000,
+                                                          dtype=np.float32)))
+    result.keys, result.ids         # sorted keys + payload permutation
+    result.telemetry.summary()      # counted ops, bytes, modeled times
+
+    repro.engines.available()       # every registered backend
+    repro.sort(repro.SortRequest(keys=rng.random(4096, dtype=np.float32)),
+               engine="bitonic-network")
+
+The pre-engine entry points (:func:`abisort`, :func:`sort_key_value`,
+:func:`make_sorter`) remain as thin shims over the same machinery.
 """
 
 from repro.errors import (
+    CapabilityError,
+    EngineError,
     KernelError,
     LayoutError,
     ModelError,
@@ -30,7 +41,8 @@ from repro.errors import (
     StreamError,
     SubstreamError,
 )
-from repro.stream.stream import NODE_DTYPE, PQ_DTYPE, VALUE_DTYPE, make_values
+from repro.stream.stream import NODE_DTYPE, PQ_DTYPE, VALUE_DTYPE
+from repro.core.values import make_values
 from repro.core.api import (
     ABiSortConfig,
     abisort,
@@ -40,8 +52,19 @@ from repro.core.api import (
 )
 from repro.core.abisort import GPUABiSorter
 from repro.core.optimized import OptimizedGPUABiSorter
+from repro import engines
+from repro.engines import (
+    BatchResult,
+    EngineCapabilities,
+    SortEngine,
+    SortRequest,
+    SortResult,
+    SortTelemetry,
+    sort,
+    sort_batch,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",
@@ -50,6 +73,8 @@ __all__ = [
     "KernelError",
     "LayoutError",
     "SortInputError",
+    "EngineError",
+    "CapabilityError",
     "ModelError",
     "VALUE_DTYPE",
     "NODE_DTYPE",
@@ -62,5 +87,14 @@ __all__ = [
     "sort_key_value",
     "GPUABiSorter",
     "OptimizedGPUABiSorter",
+    "engines",
+    "SortEngine",
+    "SortRequest",
+    "SortResult",
+    "SortTelemetry",
+    "BatchResult",
+    "EngineCapabilities",
+    "sort",
+    "sort_batch",
     "__version__",
 ]

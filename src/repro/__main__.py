@@ -4,17 +4,23 @@ Commands
 --------
 
 ``sort``      sort a generated workload, report counters and modeled times
+``backends``  list the registered sort engines with their capability flags
 ``figures``   regenerate the paper's Figures 1 and 4-7 as text
 ``table2``    regenerate Table 2 (GeForce 6800 / AGP) with its plot
 ``table3``    regenerate Table 3 (GeForce 7800 / PCIe) with its plot
-``ops``       stream-operation counts of the three program variants
+``ops``       stream-operation counts of the program variants
+
+``sort``, ``ops``, and ``profile`` take ``--engine`` to dispatch through
+any registered backend (see ``backends``).
 
 Examples::
 
+    python -m repro backends
     python -m repro sort --n 16384 --dist uniform
+    python -m repro sort --n 4096 --engine bitonic-network
     python -m repro figures 6
     python -m repro table2 --sizes 4096 16384 65536
-    python -m repro ops --n 4096
+    python -m repro ops --n 4096 --engine periodic-balanced
 """
 
 from __future__ import annotations
@@ -35,29 +41,70 @@ from repro.analysis.timing import (
 from repro.workloads.generators import DISTRIBUTIONS, generate_keys
 
 
-def cmd_sort(args: argparse.Namespace) -> int:
-    """``sort``: run GPU-ABiSort on a generated workload."""
-    keys = generate_keys(args.dist, args.n, seed=args.seed)
-    values = repro.make_values(keys)
-    cfg = repro.ABiSortConfig(
-        schedule=args.schedule, optimized=not args.no_optimized
-    )
-    sorter = repro.make_sorter(cfg)
-    out = sorter.sort(values)
-    counters = sorter.last_machine.counters()
-    print(f"sorted {args.n} pairs ({args.dist}, seed {args.seed}); "
-          f"first keys: {out['key'][:4]}")
-    print(f"stream ops: {counters.stream_ops}  kernel instances: "
-          f"{counters.instances}  bytes moved: {counters.total_bytes / 1e6:.1f} MB")
-    from repro.stream.gpu_model import (
-        GEFORCE_6800_ULTRA, GEFORCE_7800_GTX, estimate_gpu_time_ms,
-    )
-    from repro.stream.mapping2d import ZOrderMapping
+def _engine_for_sort_args(args: argparse.Namespace) -> str:
+    """Resolve ``--engine`` (falling back to the legacy variant flags)."""
+    if args.engine:
+        return args.engine
+    variants = {
+        ("overlapped", True): "abisort",
+        ("overlapped", False): "abisort-overlapped",
+        ("sequential", True): "abisort-sequential-optimized",
+        ("sequential", False): "abisort-sequential",
+    }
+    return variants[(args.schedule, not args.no_optimized)]
 
-    for gpu in (GEFORCE_6800_ULTRA, GEFORCE_7800_GTX):
-        cost = estimate_gpu_time_ms(sorter.last_machine.ops, gpu, ZOrderMapping())
-        print(f"modeled on {gpu.name}: {cost.total_ms:.2f} ms "
-              f"({cost.bound}-bound)")
+
+def cmd_sort(args: argparse.Namespace) -> int:
+    """``sort``: run a registered engine on a generated workload.
+
+    Stream-machine engines are modeled on both paper GPUs; each number
+    comes from the engine's own cost model (one dispatch per GPU), so the
+    CLI agrees with the telemetry every other surface reports.
+    """
+    from repro.stream.gpu_model import GEFORCE_6800_ULTRA, GEFORCE_7800_GTX
+
+    keys = generate_keys(args.dist, args.n, seed=args.seed)
+    engine = _engine_for_sort_args(args)
+    result = repro.sort(
+        repro.SortRequest(keys=keys, gpu=GEFORCE_6800_ULTRA), engine=engine
+    )
+    t = result.telemetry
+    print(f"sorted {args.n} pairs ({args.dist}, seed {args.seed}) with "
+          f"engine {engine!r}; first keys: {result.keys[:4]}")
+    print(f"stream ops: {t.stream_ops}  kernel instances: "
+          f"{t.kernel_instances}  bytes moved: {t.bytes_moved / 1e6:.1f} MB")
+    if result.machine is not None:
+        t7800 = repro.sort(
+            repro.SortRequest(keys=keys, gpu=GEFORCE_7800_GTX), engine=engine
+        ).telemetry
+        for gpu, ms in (
+            (GEFORCE_6800_ULTRA, t.modeled_gpu_ms),
+            (GEFORCE_7800_GTX, t7800.modeled_gpu_ms),
+        ):
+            print(f"modeled on {gpu.name}: {ms:.2f} ms")
+    else:
+        print(f"modeled time: {t.modeled_total_ms:.2f} ms "
+              f"(CPU {t.modeled_cpu_ms:.2f} + GPU {t.modeled_gpu_ms:.2f} "
+              f"+ I/O {t.modeled_io_ms:.2f})")
+    return 0
+
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    """``backends``: the engine registry with capability flags."""
+    from repro.engines import CAPABILITY_FLAGS, available, get
+
+    names = available()
+    width = max(len(n) for n in names)
+    header = "  ".join(f"{flag:>11}" for flag in CAPABILITY_FLAGS)
+    print(f"{len(names)} registered sort engines:")
+    print(f"  {'engine':<{width}}  {header}  description")
+    for name in names:
+        engine = get(name)
+        flags = "  ".join(
+            f"{'yes' if on else '-':>11}"
+            for on in engine.capabilities.flags().values()
+        )
+        print(f"  {name:<{width}}  {flags}  {engine.description}")
     return 0
 
 
@@ -107,19 +154,27 @@ def cmd_table3(args: argparse.Namespace) -> int:
 
 
 def cmd_ops(args: argparse.Namespace) -> int:
-    """``ops``: stream-operation counts of the three variants."""
-    values = repro.make_values(generate_keys("uniform", args.n, seed=0))
+    """``ops``: stream-operation counts, per engine.
+
+    Without ``--engine``: the paper's three program variants.  With it: the
+    named backend only.
+    """
+    request = repro.SortRequest(
+        keys=generate_keys("uniform", args.n, seed=0), model_time=False
+    )
+    if args.engine:
+        rows = [(args.engine, args.engine)]
+    else:
+        rows = [
+            ("Appendix A (sequential phases)", "abisort-sequential"),
+            ("Section 5.4 (overlapped)      ", "abisort-overlapped"),
+            ("Section 7  (optimized)        ", "abisort"),
+        ]
     print(f"stream operations for n = {args.n}:")
-    for label, cfg in [
-        ("Appendix A (sequential phases)", repro.ABiSortConfig("sequential", optimized=False)),
-        ("Section 5.4 (overlapped)      ", repro.ABiSortConfig("overlapped", optimized=False)),
-        ("Section 7  (optimized)        ", repro.ABiSortConfig("overlapped", optimized=True)),
-    ]:
-        sorter = repro.make_sorter(cfg)
-        sorter.sort(values)
-        c = sorter.last_machine.counters()
-        print(f"  {label}: {c.stream_ops:5d} ops "
-              f"({c.kernel_ops} kernels + {c.copy_ops} copies)")
+    for label, engine in rows:
+        t = repro.sort(request, engine=engine).telemetry
+        print(f"  {label}: {t.stream_ops:5d} ops "
+              f"({t.kernel_ops} kernels + {t.copy_ops} copies)")
     return 0
 
 
@@ -207,14 +262,22 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    """``profile``: per-level cost breakdown of one sort."""
+    """``profile``: per-tag cost breakdown of one sort on any engine."""
     from repro.analysis.profile import format_profile, profile_run
     from repro.stream.gpu_model import GEFORCE_6800_ULTRA, GEFORCE_7800_GTX
 
     gpu = GEFORCE_6800_ULTRA if args.gpu == "6800" else GEFORCE_7800_GTX
-    sorter = repro.make_sorter(repro.ABiSortConfig())
-    sorter.sort(repro.make_values(generate_keys("uniform", args.n, seed=0)))
-    print(format_profile(profile_run(sorter.last_machine, gpu)))
+    result = repro.sort(
+        repro.SortRequest(
+            keys=generate_keys("uniform", args.n, seed=0), gpu=gpu
+        ),
+        engine=args.engine or "abisort",
+    )
+    if result.machine is None:
+        print(f"engine {result.engine!r} does not run on the stream machine; "
+              f"nothing to profile (telemetry: {result.telemetry.summary()})")
+        return 2
+    print(format_profile(profile_run(result.machine, gpu)))
     return 0
 
 
@@ -230,11 +293,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sort.add_argument("--n", type=int, default=1 << 14)
     p_sort.add_argument("--dist", choices=sorted(DISTRIBUTIONS), default="uniform")
     p_sort.add_argument("--seed", type=int, default=0)
+    p_sort.add_argument("--engine", default=None,
+                        help="registered backend to dispatch through "
+                             "(see `backends`); overrides the variant flags")
     p_sort.add_argument("--schedule", choices=("overlapped", "sequential"),
                         default="overlapped")
     p_sort.add_argument("--no-optimized", action="store_true",
                         help="disable the Section-7 optimizations")
     p_sort.set_defaults(func=cmd_sort)
+
+    p_back = sub.add_parser(
+        "backends", help="list registered sort engines and capabilities"
+    )
+    p_back.set_defaults(func=cmd_backends)
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("which", nargs="?", default="all",
@@ -249,11 +320,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ops = sub.add_parser("ops", help="stream-op counts of the variants")
     p_ops.add_argument("--n", type=int, default=1 << 12)
+    p_ops.add_argument("--engine", default=None,
+                       help="count ops of this backend instead of the "
+                            "three ABiSort variants")
     p_ops.set_defaults(func=cmd_ops)
 
     p_prof = sub.add_parser("profile", help="per-level cost profile of a sort")
     p_prof.add_argument("--n", type=int, default=1 << 14)
     p_prof.add_argument("--gpu", choices=("6800", "7800"), default="7800")
+    p_prof.add_argument("--engine", default=None,
+                        help="profile this backend (default: abisort)")
     p_prof.set_defaults(func=cmd_profile)
 
     p_rep = sub.add_parser("report", help="quick reproduction checklist")
@@ -262,9 +338,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    User-facing errors (unknown engines, capability mismatches, bad
+    workload parameters) print one line instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except repro.ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,8 +1,16 @@
-"""User-facing entry points for GPU-ABiSort.
+"""Direct entry points for GPU-ABiSort (thin shims over the engine API).
 
-Most users want :func:`abisort` (sort a ``VALUE_DTYPE`` array) or
-:func:`sort_key_value` (sort plain key/id arrays).  Both accept an
-:class:`ABiSortConfig` selecting the algorithm variant:
+.. deprecated::
+    New code should use the unified engine API -- :func:`repro.sort` with a
+    :class:`repro.SortRequest`, or :func:`repro.engines.get` -- which
+    serves *every* backend (ABiSort variants, the baselines, the
+    out-of-core sorter) and returns structured telemetry.  The functions
+    here remain supported as convenience shims for the common ABiSort-only
+    cases and are what the engine adapters themselves are built from.
+
+:func:`abisort` sorts a ``VALUE_DTYPE`` array; :func:`sort_key_value`
+sorts plain key/id arrays.  Both accept an :class:`ABiSortConfig`
+selecting the algorithm variant:
 
 >>> import numpy as np
 >>> from repro import abisort, make_values
@@ -19,11 +27,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import SortInputError
 from repro.core.abisort import GPUABiSorter
 from repro.core.optimized import OptimizedGPUABiSorter
 from repro.core.values import make_values
-from repro.stream.context import StreamMachine
 
 __all__ = ["ABiSortConfig", "abisort", "abisort_any_length", "sort_key_value", "make_sorter"]
 
@@ -91,9 +97,9 @@ def abisort_any_length(
     """
     from repro.workloads.records import pad_to_power_of_two
 
-    if values.shape[0] == 0:
-        return values.copy()
-    if values.shape[0] == 1:
+    if values.shape[0] <= 1:
+        # Uniform trivial-input semantics (see repro.engines.base): empty
+        # and single-element inputs are returned as copies everywhere.
         return values.copy()
     padded, orig = pad_to_power_of_two(values)
     return abisort(padded, config)[:orig]
@@ -110,9 +116,14 @@ def sort_key_value(
     stable with respect to the input order (the paper's distinctness
     device).  Returns ``(sorted_keys, sorted_ids)``; ``sorted_ids`` is the
     permutation that can be used to reorder an associated record array.
+
+    Empty and single-element inputs return (copies of) the input, matching
+    the uniform semantics of the engine API (see
+    :mod:`repro.engines.base`): trivial inputs are valid everywhere and
+    never dispatch to the underlying algorithm.
     """
     vals = make_values(np.asarray(keys), ids)
-    if vals.shape[0] == 0:
-        raise SortInputError("cannot sort an empty sequence")
+    if vals.shape[0] <= 1:
+        return vals["key"].copy(), vals["id"].copy()
     out = abisort(vals, config)
     return out["key"].copy(), out["id"].copy()

@@ -11,6 +11,10 @@ secondary sort keys".
 This module provides helpers around the ``VALUE_DTYPE`` structured arrays
 defined in :mod:`repro.stream.stream` plus a NumPy-native reference ordering
 (:func:`total_order_argsort`) used to verify every sorter in the test suite.
+
+It is also the canonical re-export point for :func:`make_values` (defined
+next to ``VALUE_DTYPE`` in :mod:`repro.stream.stream`): ``repro.make_values``
+and every user-facing module import it from here.
 """
 
 from __future__ import annotations

@@ -1,0 +1,117 @@
+"""The unified sorting-engine API: one interface over every sorter.
+
+This package is the dispatch layer the rest of the repository (CLI,
+benchmarks, examples) goes through:
+
+* :mod:`repro.engines.base` -- the :class:`SortEngine` protocol,
+  :class:`SortRequest` / :class:`SortResult` / :class:`SortTelemetry`, and
+  the per-engine :class:`EngineCapabilities` flags;
+* :mod:`repro.engines.registry` -- the pluggable backend registry
+  (:func:`register` / :func:`get` / :func:`available`);
+* :mod:`repro.engines.adapters` -- the twelve built-in backends (GPU-ABiSort
+  variants, the Section-2.2 baselines, the CPU sorts, and the out-of-core
+  pipeline), registered on import.
+
+Quick use::
+
+    import numpy as np
+    import repro
+
+    req = repro.SortRequest(keys=np.random.default_rng(0).random(1000,
+                                                                dtype=np.float32))
+    res = repro.sort(req)                       # default engine: "abisort"
+    res = repro.sort(req, engine="bitonic-network")  # CapabilityError: n=1000
+    batch = repro.sort_batch([req] * 4, engine="abisort")
+    print(batch.telemetry.summary())
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CapabilityError, EngineError
+from repro.engines.base import (
+    CAPABILITY_FLAGS,
+    BatchResult,
+    EngineCapabilities,
+    SortEngine,
+    SortRequest,
+    SortResult,
+    SortTelemetry,
+)
+from repro.engines.registry import (
+    DEFAULT_ENGINE,
+    available,
+    capabilities,
+    get,
+    register,
+    unregister,
+)
+from repro.engines.adapters import register_builtin_engines
+
+register_builtin_engines()
+
+__all__ = [
+    "SortEngine",
+    "SortRequest",
+    "SortResult",
+    "SortTelemetry",
+    "BatchResult",
+    "EngineCapabilities",
+    "CAPABILITY_FLAGS",
+    "CapabilityError",
+    "EngineError",
+    "DEFAULT_ENGINE",
+    "register",
+    "unregister",
+    "get",
+    "available",
+    "capabilities",
+    "sort",
+    "sort_batch",
+]
+
+
+def _as_request(request) -> SortRequest:
+    """Accept a SortRequest or a bare array (VALUE_DTYPE or plain keys)."""
+    if isinstance(request, SortRequest):
+        return request
+    if isinstance(request, np.ndarray):
+        from repro.stream.stream import VALUE_DTYPE
+
+        if request.dtype == VALUE_DTYPE:
+            return SortRequest(values=request)
+        return SortRequest(keys=request)
+    raise EngineError(
+        f"expected a SortRequest or a NumPy array, got {type(request).__name__}"
+    )
+
+
+def sort(request, engine: str | None = None) -> SortResult:
+    """Serve one sort request through the registry.
+
+    ``request`` is a :class:`SortRequest` (or, for convenience, a bare
+    array: ``VALUE_DTYPE`` arrays sort as values, anything else as plain
+    keys).  ``engine`` names a registered backend; the default is
+    :data:`DEFAULT_ENGINE`.
+    """
+    return get(engine).sort(_as_request(request))
+
+
+def sort_batch(requests, engine: str | None = None) -> BatchResult:
+    """Serve a sequence of requests sequentially on one shared engine.
+
+    The engine instance is constructed once and reused for every request --
+    layout plans, kernel closures, and any mapping caches warm up on the
+    first sort and are shared by the rest of the batch.  Returns a
+    :class:`BatchResult` with the per-request results plus one aggregate
+    :class:`SortTelemetry` summed over the batch (``telemetry.requests``
+    counts the batch size).
+    """
+    requests = [_as_request(r) for r in requests]
+    eng = get(engine)
+    results = [eng.sort(r) for r in requests]
+    total = SortTelemetry(requests=0)
+    for res in results:
+        total.add(res.telemetry)
+    return BatchResult(results=results, telemetry=total)

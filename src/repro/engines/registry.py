@@ -1,0 +1,122 @@
+"""The pluggable backend registry: ``register`` / ``get`` / ``available``.
+
+The registry maps engine names to zero-argument factories producing
+:class:`~repro.engines.base.SortEngine` instances.  Factories (rather than
+instances) keep registration import-cheap and let callers hold independent
+engine objects; :func:`get` builds a fresh instance each call, and
+:func:`repro.sort_batch` reuses one instance across a whole batch.
+
+Extending the registry is one decorator::
+
+    from repro.engines import SortEngine, EngineCapabilities, register
+
+    @register("my-sort")
+    class MySort(SortEngine):
+        name = "my-sort"
+        capabilities = EngineCapabilities(any_length=True)
+        def _run(self, values, request):
+            ...
+
+The built-in backends (see :mod:`repro.engines.adapters`) are registered
+when :mod:`repro.engines` is imported.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import EngineError
+from repro.engines.base import EngineCapabilities, SortEngine
+
+__all__ = ["register", "unregister", "get", "available", "capabilities"]
+
+_REGISTRY: dict[str, Callable[[], SortEngine]] = {}
+
+#: Capability records by engine name, filled lazily so capability queries
+#: (``available(require=...)``, ``capabilities``, CapabilityError messages)
+#: never construct engines beyond the first lookup per name.
+_CAPABILITIES: dict[str, EngineCapabilities] = {}
+
+#: The engine used when a request names none (the paper's benchmarked
+#: configuration: overlapped schedule + Section-7 optimizations).
+DEFAULT_ENGINE = "abisort"
+
+
+def register(
+    name: str,
+    factory: Callable[[], SortEngine] | None = None,
+    *,
+    replace: bool = False,
+):
+    """Register ``factory`` under ``name``; usable as a decorator.
+
+    ``factory`` is any zero-argument callable returning a
+    :class:`SortEngine` (an engine class works directly).  Re-registering an
+    existing name raises :class:`EngineError` unless ``replace=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise EngineError(f"engine name must be a non-empty string, got {name!r}")
+
+    def _do_register(f: Callable[[], SortEngine]):
+        if not callable(f):
+            raise EngineError(f"engine factory for {name!r} is not callable")
+        if name in _REGISTRY and not replace:
+            raise EngineError(
+                f"engine {name!r} is already registered; pass replace=True "
+                f"to override"
+            )
+        _REGISTRY[name] = f
+        _CAPABILITIES.pop(name, None)
+        return f
+
+    if factory is None:
+        return _do_register
+    return _do_register(factory)
+
+
+def unregister(name: str) -> None:
+    """Remove ``name`` from the registry (for tests and plugins)."""
+    if name not in _REGISTRY:
+        raise EngineError(f"engine {name!r} is not registered")
+    del _REGISTRY[name]
+    _CAPABILITIES.pop(name, None)
+
+
+def get(name: str | None = None) -> SortEngine:
+    """A fresh instance of the engine registered under ``name``."""
+    name = name or DEFAULT_ENGINE
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown engine {name!r}; available: {', '.join(available())}"
+        ) from None
+    engine = factory()
+    if not isinstance(engine, SortEngine):
+        raise EngineError(
+            f"factory for {name!r} returned {type(engine).__name__}, "
+            f"not a SortEngine"
+        )
+    return engine
+
+
+def available(*, require: Iterable[str] = ()) -> tuple[str, ...]:
+    """The registered engine names, sorted.
+
+    ``require`` filters to engines declaring every named capability flag,
+    e.g. ``available(require=("out_of_core",))``.
+    """
+    required = tuple(require)
+    names = []
+    for name in sorted(_REGISTRY):
+        if required and capabilities(name).missing(required):
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def capabilities(name: str) -> EngineCapabilities:
+    """The capability record of the engine registered under ``name``."""
+    if name not in _CAPABILITIES:
+        _CAPABILITIES[name] = get(name).capabilities
+    return _CAPABILITIES[name]

@@ -12,6 +12,10 @@ the layers of the system:
   paper) or an invalid stage/phase/step request.
 * :class:`SortInputError` -- invalid sorter input (non power-of-two length
   without padding, duplicate ids, dtype mismatch).
+* :class:`EngineError` -- problems at the :mod:`repro.engines` layer
+  (unknown backend names, duplicate registrations).
+* :class:`CapabilityError` -- a request was dispatched to an engine that
+  does not support it (see the per-engine capability flags).
 * :class:`ModelError` -- invalid hardware-model configuration in
   :mod:`repro.stream.gpu_model` or :mod:`repro.stream.cache`.
 """
@@ -58,6 +62,25 @@ class SortInputError(ReproError):
     GPU-ABiSort, like the GPU sorting-network implementations it is compared
     against, requires power-of-two sequence lengths (paper Sections 4 and 9);
     use :func:`repro.workloads.records.pad_to_power_of_two` to pad.
+    """
+
+
+class EngineError(ReproError):
+    """A problem at the :mod:`repro.engines` registry/dispatch layer.
+
+    Raised for unknown backend names and invalid registrations.  Capability
+    mismatches raise the more specific :class:`CapabilityError`.
+    """
+
+
+class CapabilityError(EngineError):
+    """A sort request needs a capability the selected engine lacks.
+
+    Every registered engine declares capability flags (``any_length``,
+    ``key_value``, ``out_of_core``, ``stable``).  Dispatching a request the
+    engine cannot serve -- e.g. a non-power-of-two input to a sorting-network
+    backend -- raises this error; the message names engines that can serve
+    the request instead.
     """
 
 

@@ -226,9 +226,12 @@ class TestPublicAPI:
         assert np.array_equal(skeys, np.sort(keys))
         assert np.array_equal(keys[sids], skeys)
 
-    def test_sort_key_value_rejects_empty(self):
-        with pytest.raises(SortInputError):
-            repro.sort_key_value(np.array([], dtype=np.float32))
+    def test_sort_key_value_empty_returns_empty(self):
+        # Uniform trivial-input semantics (repro.engines.base): empty input
+        # is valid and returns empty output, matching abisort_any_length.
+        skeys, sids = repro.sort_key_value(np.array([], dtype=np.float32))
+        assert skeys.shape == (0,) and sids.shape == (0,)
+        assert skeys.dtype == np.float32 and sids.dtype == np.uint32
 
     def test_config_selects_variant(self, small_values):
         cfg = repro.ABiSortConfig(optimized=False, schedule="sequential")

@@ -59,6 +59,53 @@ class TestCLI:
         assert "FAIL" not in out
         assert "12/12 checks passed" in out
 
+    def test_backends_command(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "registered sort engines" in out
+        for flag in ("any_length", "key_value", "out_of_core", "stable"):
+            assert flag in out
+        for engine in ("abisort", "bitonic-network", "cpu-quicksort",
+                       "external", "periodic-balanced"):
+            assert engine in out
+
+    def test_sort_with_engine(self, capsys):
+        assert main(["sort", "--n", "256", "--engine", "bitonic-network"]) == 0
+        out = capsys.readouterr().out
+        assert "engine 'bitonic-network'" in out
+        assert "stream ops" in out
+
+    def test_sort_with_cpu_engine(self, capsys):
+        assert main(["sort", "--n", "256", "--engine", "cpu-quicksort"]) == 0
+        out = capsys.readouterr().out
+        assert "engine 'cpu-quicksort'" in out
+        assert "modeled time" in out
+
+    def test_ops_with_engine(self, capsys):
+        assert main(["ops", "--n", "256", "--engine", "periodic-balanced"]) == 0
+        out = capsys.readouterr().out
+        assert "periodic-balanced" in out
+        assert "Appendix A" not in out
+
+    def test_profile_with_engine(self, capsys):
+        assert main(["profile", "--n", "256", "--gpu", "7800",
+                     "--engine", "odd-even-merge"]) == 0
+        out = capsys.readouterr().out
+        assert "run profile on GeForce 7800" in out
+
+    def test_profile_rejects_machineless_engine(self, capsys):
+        assert main(["profile", "--n", "64", "--engine", "cpu-std"]) == 2
+        assert "does not run on the stream machine" in capsys.readouterr().out
+
+    def test_user_errors_print_cleanly(self, capsys):
+        # Unknown engine and capability mismatches are one-line errors
+        # (exit 2), not tracebacks.
+        assert main(["sort", "--n", "64", "--engine", "no-such-engine"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+        assert main(["sort", "--n", "1000", "--engine", "bitonic-network"]) == 2
+        err = capsys.readouterr().err
+        assert "power-of-two" in err and "abisort" in err
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])

@@ -1,0 +1,274 @@
+"""Cross-engine equivalence suite for the unified SortEngine API.
+
+Every registered backend must agree with :func:`reference_sort` (the
+NumPy-native (key, id) total order) on random, sorted, reverse-sorted,
+duplicate-key, and non-power-of-two workloads -- within its declared
+capability flags: engines without ``any_length`` must instead raise
+:class:`CapabilityError` on non-power-of-two input.  Plus the registry
+semantics, the uniform empty/single-element behaviour, telemetry
+population, and batch aggregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.values import reference_sort
+from repro.engines import (
+    BatchResult,
+    CapabilityError,
+    EngineCapabilities,
+    EngineError,
+    SortEngine,
+    SortRequest,
+    SortTelemetry,
+)
+
+ENGINES = repro.engines.available()
+
+N_POW2 = 64
+N_ODD = 100
+
+
+def workload_keys(kind: str, n: int, rng: np.random.Generator) -> np.ndarray:
+    if kind == "random":
+        return rng.random(n, dtype=np.float32)
+    if kind == "sorted":
+        return np.sort(rng.random(n, dtype=np.float32))
+    if kind == "reverse":
+        return np.sort(rng.random(n, dtype=np.float32))[::-1].copy()
+    if kind == "duplicate-key":
+        return rng.integers(0, 4, n).astype(np.float32)
+    raise AssertionError(kind)
+
+
+WORKLOADS = ("random", "sorted", "reverse", "duplicate-key")
+
+
+class TestCrossEngineEquivalence:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("kind", WORKLOADS)
+    def test_matches_reference_on_power_of_two(self, engine, kind, rng):
+        request = SortRequest(keys=workload_keys(kind, N_POW2, rng))
+        result = repro.sort(request, engine=engine)
+        assert np.array_equal(result.values, reference_sort(request.to_values()))
+        assert result.engine == engine
+        assert result.telemetry.n == N_POW2
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_non_power_of_two_per_capability(self, engine, rng):
+        request = SortRequest(keys=workload_keys("random", N_ODD, rng))
+        caps = repro.engines.capabilities(engine)
+        if caps.any_length:
+            result = repro.sort(request, engine=engine)
+            assert np.array_equal(
+                result.values, reference_sort(request.to_values())
+            )
+        else:
+            with pytest.raises(CapabilityError) as err:
+                repro.sort(request, engine=engine)
+            # The error names engines that can serve the request.
+            assert "abisort" in str(err.value)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_ids_are_a_permutation(self, engine, rng):
+        keys = workload_keys("duplicate-key", N_POW2, rng)
+        result = repro.sort(SortRequest(keys=keys), engine=engine)
+        assert np.array_equal(np.sort(result.ids), np.arange(N_POW2))
+        assert np.array_equal(keys[result.ids], result.keys)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_stability_via_positional_ids(self, engine, rng):
+        """With default ids, equal keys keep input order (``stable`` flag)."""
+        assert repro.engines.capabilities(engine).stable
+        keys = np.zeros(N_POW2, dtype=np.float32)
+        result = repro.sort(SortRequest(keys=keys), engine=engine)
+        assert np.array_equal(result.ids, np.arange(N_POW2))
+
+
+class TestUniformTrivialInputs:
+    """Empty and single-element requests succeed identically everywhere."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("n", (0, 1))
+    def test_trivial_inputs(self, engine, n, rng):
+        request = SortRequest(keys=rng.random(n, dtype=np.float32))
+        result = repro.sort(request, engine=engine)
+        assert len(result) == n
+        assert result.telemetry.n == n
+        assert result.telemetry.stream_ops == 0
+        assert result.machine is None
+
+    def test_shim_functions_match_engine_semantics(self):
+        empty = np.array([], dtype=np.float32)
+        skeys, sids = repro.sort_key_value(empty)
+        assert skeys.shape == (0,) and sids.shape == (0,)
+        one_k, one_i = repro.sort_key_value(np.array([2.5], dtype=np.float32))
+        assert one_k.tolist() == [2.5] and one_i.tolist() == [0]
+        assert repro.abisort_any_length(
+            np.empty(0, dtype=repro.VALUE_DTYPE)
+        ).shape == (0,)
+
+
+class TestTelemetry:
+    def test_stream_engine_telemetry_populated(self, rng):
+        result = repro.sort(
+            SortRequest(keys=rng.random(N_POW2, dtype=np.float32)),
+            engine="abisort",
+        )
+        t = result.telemetry
+        assert t.stream_ops == t.kernel_ops + t.copy_ops > 0
+        assert t.kernel_instances > 0
+        assert t.bytes_moved > 0
+        assert t.modeled_gpu_ms > 0
+        assert t.wall_time_s > 0
+        assert result.machine is not None
+        assert len(result.machine.ops) == t.stream_ops
+
+    def test_cpu_engine_telemetry_populated(self, rng):
+        t = repro.sort(
+            SortRequest(keys=rng.random(N_POW2, dtype=np.float32)),
+            engine="cpu-quicksort",
+        ).telemetry
+        assert t.cpu_ops > 0 and t.modeled_cpu_ms > 0
+        assert t.stream_ops == 0
+
+    def test_external_engine_telemetry_populated(self, rng):
+        t = repro.sort(
+            SortRequest(keys=rng.random(1 << 10, dtype=np.float32)),
+            engine="external",
+        ).telemetry
+        assert t.disk_bytes > 0 and t.disk_seeks > 0
+        assert t.modeled_io_ms > 0 and t.modeled_gpu_ms > 0
+
+    def test_model_time_opt_out(self, rng):
+        t = repro.sort(
+            SortRequest(
+                keys=rng.random(N_POW2, dtype=np.float32), model_time=False
+            ),
+            engine="abisort",
+        ).telemetry
+        assert t.modeled_total_ms == 0.0
+        assert t.stream_ops > 0  # counting stays on; only the cost model is off
+
+    def test_require_flags_dispatch(self, rng):
+        request = SortRequest(
+            keys=rng.random(N_POW2, dtype=np.float32), require=("out_of_core",)
+        )
+        assert repro.sort(request, engine="external").telemetry.n == N_POW2
+        with pytest.raises(CapabilityError):
+            repro.sort(request, engine="abisort")
+        with pytest.raises(repro.SortInputError, match="unknown capability"):
+            repro.sort(
+                SortRequest(keys=np.zeros(2, np.float32),
+                            require=("warp_drive",)),
+                engine="abisort",
+            )
+
+
+class TestBatch:
+    def test_batch_aggregates_and_per_request_results(self, rng):
+        requests = [
+            SortRequest(keys=rng.random(n, dtype=np.float32))
+            for n in (16, 32, 64, 100)
+        ]
+        batch = repro.sort_batch(requests, engine="abisort")
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == 4
+        for req, res in zip(requests, batch):
+            assert np.array_equal(res.values, reference_sort(req.to_values()))
+        agg = batch.telemetry
+        assert agg.requests == 4
+        assert agg.n == 16 + 32 + 64 + 100
+        assert agg.stream_ops == sum(
+            r.telemetry.stream_ops for r in batch.results
+        )
+        assert agg.modeled_gpu_ms == pytest.approx(
+            sum(r.telemetry.modeled_gpu_ms for r in batch.results)
+        )
+
+    def test_batch_accepts_bare_arrays(self, rng):
+        keys = rng.random(32, dtype=np.float32)
+        batch = repro.sort_batch([keys, repro.make_values(keys)])
+        assert len(batch) == 2
+        assert np.array_equal(batch[0].values, batch[1].values)
+
+
+class TestRegistry:
+    def test_at_least_eight_engines(self):
+        assert len(ENGINES) >= 8
+
+    def test_expected_backends_present(self):
+        assert {
+            "abisort", "abisort-overlapped", "abisort-sequential",
+            "bitonic-network", "odd-even-merge", "periodic-balanced",
+            "odd-even-transition", "cpu-quicksort", "external",
+        } <= set(ENGINES)
+
+    def test_available_filters_by_capability(self):
+        assert "external" in repro.engines.available(require=("out_of_core",))
+        assert "abisort" not in repro.engines.available(require=("out_of_core",))
+        assert "bitonic-network" not in repro.engines.available(
+            require=("any_length",)
+        )
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(EngineError, match="unknown engine"):
+            repro.engines.get("timsort-9000")
+
+    def test_register_duplicate_guard_and_replace(self):
+        class Dummy(SortEngine):
+            name = "dummy"
+            capabilities = EngineCapabilities(any_length=True)
+
+            def _run(self, values, request):
+                return reference_sort(values), SortTelemetry(), None
+
+        repro.engines.register("dummy", Dummy)
+        try:
+            with pytest.raises(EngineError, match="already registered"):
+                repro.engines.register("dummy", Dummy)
+            repro.engines.register("dummy", Dummy, replace=True)
+            out = repro.sort(
+                SortRequest(keys=np.array([3.0, 1.0, 2.0], np.float32)),
+                engine="dummy",
+            )
+            assert out.keys.tolist() == [1.0, 2.0, 3.0]
+        finally:
+            repro.engines.unregister("dummy")
+        assert "dummy" not in repro.engines.available()
+
+    def test_register_as_decorator(self):
+        @repro.engines.register("decorated-dummy")
+        class Decorated(SortEngine):
+            name = "decorated-dummy"
+            capabilities = EngineCapabilities(any_length=True)
+
+            def _run(self, values, request):
+                return reference_sort(values), SortTelemetry(), None
+
+        try:
+            assert "decorated-dummy" in repro.engines.available()
+        finally:
+            repro.engines.unregister("decorated-dummy")
+
+
+class TestRequestValidation:
+    def test_values_and_keys_are_exclusive(self, rng):
+        values = repro.make_values(rng.random(4, dtype=np.float32))
+        with pytest.raises(repro.SortInputError, match="not both"):
+            SortRequest(values=values, keys=values["key"]).to_values()
+
+    def test_values_must_be_value_dtype(self):
+        with pytest.raises(repro.SortInputError, match="VALUE_DTYPE"):
+            SortRequest(values=np.zeros(4, np.float32)).to_values()
+
+    def test_neither_given(self):
+        with pytest.raises(repro.SortInputError, match="values or keys"):
+            SortRequest().to_values()
+
+    def test_bare_non_array_rejected(self):
+        with pytest.raises(EngineError, match="SortRequest"):
+            repro.sort([3.0, 1.0])
