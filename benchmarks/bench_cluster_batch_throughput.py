@@ -1,0 +1,74 @@
+"""E23 -- modeled batch-sorting throughput on a device cluster.
+
+A production sorting service rarely sees one giant sort; it sees many
+independent requests.  ``repro.sort_batch(..., devices=N)`` schedules the
+requests of a batch round-robin over N modeled devices and overlaps each
+request's upload, sort, and download on the per-device links.  This
+benchmark produces the throughput-vs-batch-size curve on both paper
+hardware models (Table 2's GeForce 6800 Ultra / AGP and Table 3's GeForce
+7800 GTX / PCIe) and checks that a 4-device cluster at batch size >= 4
+clears well over half its ideal 4x scaling.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.stream.gpu_model import (
+    AGP_SYSTEM,
+    GEFORCE_6800_ULTRA,
+    GEFORCE_7800_GTX,
+    PCIE_SYSTEM,
+)
+from repro.workloads.generators import generate_keys
+
+BATCH_SIZES = (1, 2, 4, 8)
+DEVICES = 4
+N_PER_REQUEST = 1 << 13
+
+SYSTEMS = (
+    ("Table 2", GEFORCE_6800_ULTRA, AGP_SYSTEM),
+    ("Table 3", GEFORCE_7800_GTX, PCIE_SYSTEM),
+)
+
+
+def _throughputs(gpu, host) -> dict[int, float]:
+    """Batch size -> modeled pairs per second on a DEVICES-device cluster."""
+    out = {}
+    for size in BATCH_SIZES:
+        requests = [
+            repro.SortRequest(
+                keys=generate_keys("uniform", N_PER_REQUEST, seed=i),
+                gpu=gpu,
+                host=host,
+            )
+            for i in range(size)
+        ]
+        batch = repro.sort_batch(requests, engine="abisort", devices=DEVICES)
+        makespan_s = batch.telemetry.modeled_makespan_ms * 1e-3
+        out[size] = size * N_PER_REQUEST / makespan_s
+    return out
+
+
+def test_batch_throughput_vs_batch_size(benchmark):
+    def compute():
+        return {
+            label: _throughputs(gpu, host) for label, gpu, host in SYSTEMS
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print(f"\nbatch throughput on {DEVICES} devices, 2^13 pairs/request "
+          f"(modeled Mpairs/s):")
+    header = "  ".join(f"batch={s:>2}" for s in BATCH_SIZES)
+    print(f"  {'system':>28}  {header}")
+    for label, gpu, _host in SYSTEMS:
+        tp = results[label]
+        cells = "  ".join(f"{tp[s] / 1e6:>8.2f}" for s in BATCH_SIZES)
+        print(f"  {label + ' (' + gpu.name + ')':>28}  {cells}")
+
+    for label, _gpu, _host in SYSTEMS:
+        tp = results[label]
+        # Filling the cluster must raise throughput: 4 concurrent requests
+        # on 4 devices beat one device by well over 2x (ideal: 4x).
+        assert tp[4] > 2.0 * tp[1], label
+        # And batching past the device count must not collapse it.
+        assert tp[8] > 0.9 * tp[4], label

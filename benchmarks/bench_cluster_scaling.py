@@ -1,0 +1,56 @@
+"""E22 -- modeled strong scaling of the sharded sort across devices.
+
+The paper sorts on one GPU; the cluster layer shards one sort across N
+modeled GeForce 7800 GTX devices (each with its own PCIe link), overlaps
+every shard's upload/sort/download, and merges the runs on the host.  This
+benchmark produces the speedup-vs-device-count curve and asserts the
+scale-out acceptance criterion: with transfer overlap enabled, the modeled
+makespan **strictly decreases** from 1 to 4 devices.
+
+Scaling is sublinear by construction -- smaller shards waste more of each
+stream operation's fixed overhead, and the host merge grows with the shard
+count (log2 k comparisons per element) -- which the printed efficiency
+column makes visible.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.workloads.generators import paper_workload
+
+DEVICE_COUNTS = (1, 2, 4, 8)
+N = 1 << 16
+
+
+def test_cluster_scaling_7800(benchmark):
+    values = paper_workload(N, seed=0)
+
+    def compute():
+        rows = []
+        for d in DEVICE_COUNTS:
+            res = repro.sort(
+                repro.SortRequest(values=values), engine="sharded-abisort",
+                devices=d,
+            )
+            rows.append((d, res.telemetry))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    base = rows[0][1].modeled_makespan_ms
+    print(f"\nsharded GPU-ABiSort of 2^16 pairs, GeForce 7800 GTX / PCIe, "
+          f"overlap on:")
+    print(f"  {'devices':>7}  {'makespan':>10}  {'speedup':>8}  "
+          f"{'efficiency':>10}  {'bubble':>8}  {'merge':>8}")
+    for d, t in rows:
+        speedup = base / t.modeled_makespan_ms
+        print(f"  {d:>7}  {t.modeled_makespan_ms:>8.2f}ms  {speedup:>7.2f}x  "
+              f"{speedup / d:>9.1%}  {t.pipeline_bubble_ms:>6.2f}ms  "
+              f"{t.modeled_cpu_ms:>6.2f}ms")
+
+    makespans = {d: t.modeled_makespan_ms for d, t in rows}
+    # The acceptance criterion: strictly decreasing makespan 1 -> 2 -> 4.
+    assert makespans[2] < makespans[1]
+    assert makespans[4] < makespans[2]
+    for _d, t in rows:
+        assert t.pipeline_bubble_ms >= 0.0
+        assert t.transfer_bytes == 2 * N * 8  # whole input up and down

@@ -15,13 +15,14 @@ import numpy as np
 from repro.core.values import make_values, reference_sort
 from repro.hybrid import ExternalSorter, SimulatedDisk, sort_wide_keys
 from repro.stream.stream import VALUE_DTYPE
+from repro.workloads.rng import seeded_rng
 
 N = 1 << 16
 CHUNK = 1 << 13
 
 
 def test_out_of_core_pipeline(benchmark):
-    rng = np.random.default_rng(0)
+    rng = seeded_rng(0)
     data = make_values(rng.random(N, dtype=np.float32))
 
     def run():
@@ -48,7 +49,7 @@ def test_out_of_core_pipeline(benchmark):
 
 
 def test_wide_key_sort(benchmark):
-    rng = np.random.default_rng(1)
+    rng = seeded_rng(1)
     keys = rng.integers(0, 1 << 62, 1 << 12, dtype=np.uint64)
 
     order = benchmark.pedantic(sort_wide_keys, args=(keys,), rounds=1, iterations=1)

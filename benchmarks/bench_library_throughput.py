@@ -22,6 +22,7 @@ from repro.stream.context import StreamMachine
 from repro.stream.mapping2d import ZOrderMapping, morton_decode, morton_encode
 from repro.stream.stream import VALUE_DTYPE
 from repro.workloads.generators import paper_workload
+from repro.workloads.rng import seeded_rng
 
 N = 1 << 13
 
@@ -94,7 +95,7 @@ def test_throughput_morton_roundtrip(benchmark):
 
 def test_throughput_cache_simulator(benchmark):
     mapping = ZOrderMapping()
-    rng = np.random.default_rng(0)
+    rng = seeded_rng(0)
     trace = rng.integers(0, 1 << 16, 1 << 16)
     ax, ay = mapping.to_2d(trace)
 

@@ -21,10 +21,11 @@ import numpy as np
 
 import repro
 from repro.workloads.records import RecordTable, pad_to_power_of_two
+from repro.workloads.rng import seeded_rng
 
 
 def main() -> None:
-    rng = np.random.default_rng(2006)
+    rng = seeded_rng(2006)
 
     # A toy "orders" table: non-power-of-two row count, structured payload.
     n = 3_000

@@ -21,10 +21,11 @@ import numpy as np
 import repro
 from repro.core.values import reference_sort
 from repro.engines import EngineCapabilities, SortEngine, SortTelemetry
+from repro.workloads.rng import seeded_rng
 
 
 def main() -> None:
-    rng = np.random.default_rng(2006)
+    rng = seeded_rng(2006)
 
     # -- the registry and capability flags --------------------------------
     print("registered engines (capability flags):")

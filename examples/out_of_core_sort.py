@@ -22,10 +22,11 @@ import numpy as np
 from repro.core.values import make_values
 from repro.hybrid import ExternalSorter, SimulatedDisk, sort_wide_keys
 from repro.stream.stream import VALUE_DTYPE
+from repro.workloads.rng import seeded_rng
 
 
 def out_of_core_demo() -> None:
-    rng = np.random.default_rng(11)
+    rng = seeded_rng(11)
     n = 200_000            # records on "disk"
     chunk = 1 << 14        # what fits in "GPU memory" at once
 
@@ -44,7 +45,7 @@ def out_of_core_demo() -> None:
 
 
 def wide_key_demo() -> None:
-    rng = np.random.default_rng(12)
+    rng = seeded_rng(12)
     # 64-bit composite keys: (timestamp << 32) | sequence number.
     timestamps = rng.integers(1_600_000_000, 1_600_086_400, 5000, dtype=np.uint64)
     seqnos = rng.integers(0, 1 << 20, 5000, dtype=np.uint64)

@@ -22,6 +22,7 @@ import repro
 from repro.analysis.timing import abisort_modeled_ms
 from repro.stream.gpu_model import GEFORCE_7800_GTX, PCIE_SYSTEM, transfer_round_trip_ms
 from repro.stream.mapping2d import ZOrderMapping
+from repro.workloads.rng import seeded_rng
 
 
 def camera_depths(positions: np.ndarray, camera: np.ndarray, view: np.ndarray) -> np.ndarray:
@@ -30,7 +31,7 @@ def camera_depths(positions: np.ndarray, camera: np.ndarray, view: np.ndarray) -
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
+    rng = seeded_rng(7)
     n = 1 << 12
     positions = rng.random((n, 3)).astype(np.float32) * 10.0
     velocities = rng.normal(0, 0.05, (n, 3)).astype(np.float32)

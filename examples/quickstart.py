@@ -13,10 +13,11 @@ import numpy as np
 
 import repro
 from repro.workloads.records import verify_sort_output
+from repro.workloads.rng import seeded_rng
 
 
 def main() -> None:
-    rng = np.random.default_rng(42)
+    rng = seeded_rng(42)
     n = 1 << 14
 
     # The paper's workload: uniform random float32 keys; the id field (the

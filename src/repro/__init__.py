@@ -52,7 +52,7 @@ from repro.core.api import (
 )
 from repro.core.abisort import GPUABiSorter
 from repro.core.optimized import OptimizedGPUABiSorter
-from repro import engines
+from repro import cluster, engines
 from repro.engines import (
     BatchResult,
     EngineCapabilities,
@@ -88,6 +88,7 @@ __all__ = [
     "GPUABiSorter",
     "OptimizedGPUABiSorter",
     "engines",
+    "cluster",
     "SortEngine",
     "SortRequest",
     "SortResult",

@@ -4,6 +4,7 @@ Commands
 --------
 
 ``sort``      sort a generated workload, report counters and modeled times
+``cluster``   sharded sort across N modeled devices with overlap pipeline
 ``backends``  list the registered sort engines with their capability flags
 ``figures``   regenerate the paper's Figures 1 and 4-7 as text
 ``table2``    regenerate Table 2 (GeForce 6800 / AGP) with its plot
@@ -18,6 +19,7 @@ Examples::
     python -m repro backends
     python -m repro sort --n 16384 --dist uniform
     python -m repro sort --n 4096 --engine bitonic-network
+    python -m repro cluster --n 65536 --devices 4 --gpu 7800
     python -m repro figures 6
     python -m repro table2 --sizes 4096 16384 65536
     python -m repro ops --n 4096 --engine periodic-balanced
@@ -90,13 +92,17 @@ def cmd_sort(args: argparse.Namespace) -> int:
 
 
 def cmd_backends(args: argparse.Namespace) -> int:
-    """``backends``: the engine registry with capability flags."""
-    from repro.engines import CAPABILITY_FLAGS, available, get
+    """``backends``: the registry -- capability flags + one-line description.
+
+    The default engine is marked with ``*``; flags are the declared
+    :class:`~repro.engines.base.EngineCapabilities` in display order.
+    """
+    from repro.engines import CAPABILITY_FLAGS, DEFAULT_ENGINE, available, get
 
     names = available()
-    width = max(len(n) for n in names)
+    width = max(len(n) for n in names) + 1
     header = "  ".join(f"{flag:>11}" for flag in CAPABILITY_FLAGS)
-    print(f"{len(names)} registered sort engines:")
+    print(f"{len(names)} registered sort engines (* = default):")
     print(f"  {'engine':<{width}}  {header}  description")
     for name in names:
         engine = get(name)
@@ -104,8 +110,53 @@ def cmd_backends(args: argparse.Namespace) -> int:
             f"{'yes' if on else '-':>11}"
             for on in engine.capabilities.flags().values()
         )
-        print(f"  {name:<{width}}  {flags}  {engine.description}")
+        shown = name + ("*" if name == DEFAULT_ENGINE else "")
+        print(f"  {shown:<{width}}  {flags}  {engine.description}")
     return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """``cluster``: run one sharded sort and print the pipeline schedule."""
+    from repro.analysis.cluster_report import format_sharded_result
+    from repro.stream.gpu_model import (
+        AGP_SYSTEM,
+        GEFORCE_6800_ULTRA,
+        GEFORCE_7800_GTX,
+        PCIE_SYSTEM,
+    )
+
+    if args.gpu == "6800":
+        gpu, host = GEFORCE_6800_ULTRA, AGP_SYSTEM
+    else:
+        gpu, host = GEFORCE_7800_GTX, PCIE_SYSTEM
+    keys = generate_keys(args.dist, args.n, seed=args.seed)
+    result = repro.sort(
+        repro.SortRequest(keys=keys, gpu=gpu, host=host, devices=args.devices),
+        engine="sharded-abisort",
+    )
+    t = result.telemetry
+    print(
+        f"sharded sort of {args.n} pairs ({args.dist}, seed {args.seed}) on "
+        f"{args.devices} x {gpu.name} over {host.bus_name}:"
+    )
+    if result.cluster is None:
+        # n <= 1 never dispatches to the engine (uniform trivial-input
+        # semantics); there is no schedule to print.
+        print(f"  trivial input (n = {args.n}): nothing to schedule")
+        return 0
+    print(format_sharded_result(result.cluster))
+    single = repro.sort(
+        repro.SortRequest(keys=keys, gpu=gpu, host=host), engine="abisort"
+    )
+    if t.modeled_makespan_ms:
+        print(
+            f"  single-device abisort: {single.telemetry.modeled_gpu_ms:.2f} ms "
+            f"-> modeled speedup "
+            f"{single.telemetry.modeled_gpu_ms / t.modeled_makespan_ms:.2f}x"
+        )
+    ok = np.array_equal(result.values, single.values)
+    print(f"  output bit-identical to single-device engine: {'yes' if ok else 'NO'}")
+    return 0 if ok else 1
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -306,6 +357,20 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="list registered sort engines and capabilities"
     )
     p_back.set_defaults(func=cmd_backends)
+
+    p_clu = sub.add_parser(
+        "cluster", help="sharded sort across N modeled devices"
+    )
+    p_clu.add_argument("--n", type=int, default=1 << 14)
+    p_clu.add_argument("--devices", type=int, default=4,
+                       help="device count (default 4)")
+    p_clu.add_argument("--gpu", choices=("6800", "7800"), default="7800",
+                       help="hardware model: Table-2 6800/AGP or "
+                            "Table-3 7800/PCIe (default)")
+    p_clu.add_argument("--dist", choices=sorted(DISTRIBUTIONS),
+                       default="uniform")
+    p_clu.add_argument("--seed", type=int, default=0)
+    p_clu.set_defaults(func=cmd_cluster)
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("which", nargs="?", default="all",

@@ -8,6 +8,9 @@
 * :mod:`repro.analysis.timing` -- regenerates Tables 2 and 3 (and their
   plots' data series) by running every sorter on the stream machine /
   instrumented CPU path and applying the hardware cost models.
+* :mod:`repro.analysis.cluster_report` -- renders cluster schedules
+  (per-device stage times, bubbles, makespan) for the ``cluster``
+  subcommand and the scale-out benchmarks.
 """
 
 from repro.analysis.complexity import (
@@ -34,6 +37,10 @@ from repro.analysis.timing import (
     table2_rows,
     table3_rows,
 )
+from repro.analysis.cluster_report import (
+    format_cluster_schedule,
+    format_sharded_result,
+)
 from repro.analysis.merge_trace import format_merge_trace, trace_level_merge
 from repro.analysis.plots import ascii_plot, timing_plot
 from repro.analysis.pram import pram_rounds, pram_speedup, pram_work
@@ -58,6 +65,8 @@ __all__ = [
     "gpusort_modeled_ms",
     "table2_rows",
     "table3_rows",
+    "format_cluster_schedule",
+    "format_sharded_result",
     "format_merge_trace",
     "trace_level_merge",
     "ascii_plot",

@@ -1,0 +1,75 @@
+"""Human-readable reports for cluster schedules.
+
+Renders a :class:`repro.cluster.scheduler.ClusterSchedule` (or a full
+:class:`repro.cluster.sharded.ShardedSortResult`) as the per-device table
+the ``python -m repro cluster`` subcommand and the cluster benchmarks
+print: per device, the time spent in each pipeline stage, the active span,
+and the pipeline-bubble time; then the schedule-level aggregates --
+critical-path makespan, host merge time, and the speedup against running
+the same stages with no overlap and no device parallelism.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.scheduler import ClusterSchedule
+from repro.cluster.sharded import ShardedSortResult
+
+__all__ = ["format_cluster_schedule", "format_sharded_result"]
+
+
+def format_cluster_schedule(schedule: ClusterSchedule, title: str = "") -> str:
+    """The per-device stage table plus schedule aggregates."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"  {'device':>6}  {'tasks':>5}  {'upload':>9}  {'sort':>9}  "
+        f"{'download':>9}  {'span':>9}  {'bubble':>8}"
+    )
+    lines.append(header)
+    for index in sorted(schedule.timelines):
+        t = schedule.timelines[index]
+        tasks = len({e.task for e in t.events})
+        lines.append(
+            f"  {index:>6}  {tasks:>5}  {t.stage_ms('upload'):>7.2f}ms  "
+            f"{t.stage_ms('sort'):>7.2f}ms  {t.stage_ms('download'):>7.2f}ms  "
+            f"{t.span_ms:>7.2f}ms  {t.bubble_ms:>6.2f}ms"
+        )
+    serial_ms = sum(e.duration_ms for e in schedule.events)
+    lines.append(
+        f"  transfers {schedule.transfer_bytes / 1e6:.2f} MB over the links; "
+        f"overlap {'on' if schedule.overlap else 'off'}"
+    )
+    if schedule.merge_ms:
+        lines.append(f"  host merge {schedule.merge_ms:.2f} ms after the last download")
+    lines.append(
+        f"  makespan {schedule.makespan_ms:.2f} ms "
+        f"(all stages serialized: {serial_ms:.2f} ms, "
+        f"speedup {serial_ms / schedule.makespan_ms:.2f}x)"
+        if schedule.makespan_ms > 0
+        else "  makespan 0.00 ms (empty schedule)"
+    )
+    return "\n".join(lines)
+
+
+def format_sharded_result(result: ShardedSortResult, title: str = "") -> str:
+    """Schedule table plus the shard plan and merge accounting."""
+    plan = result.plan
+    lines = [title] if title else []
+    lines.append(
+        f"  plan: {plan.n} pairs in {len(plan.shards)} shards on "
+        f"{plan.used_devices}/{plan.devices} devices"
+    )
+    for shard in plan.shards:
+        ms = result.shard_sort_ms[shard.index]
+        lines.append(
+            f"    shard{shard.index}: [{shard.start}, {shard.stop}) -> "
+            f"dev{shard.device}, sort {ms:.2f} ms"
+        )
+    if result.merge_comparisons:
+        lines.append(
+            f"  k-way merge: {result.merge_comparisons} comparisons, "
+            f"{result.merge_modeled_ms:.2f} ms on the host"
+        )
+    lines.append(format_cluster_schedule(result.schedule))
+    return "\n".join(lines)

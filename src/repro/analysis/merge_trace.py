@@ -25,6 +25,7 @@ from repro.core.abisort import GPUABiSorter
 from repro.core.values import make_values
 from repro.errors import SortInputError
 from repro.stream.stream import values_greater
+from repro.workloads.rng import seeded_rng
 
 __all__ = ["PhaseTrace", "MergeTrace", "trace_level_merge", "format_merge_trace"]
 
@@ -67,7 +68,7 @@ def trace_level_merge(num_trees: int = 4, seed: int = 0) -> MergeTrace:
             "the traced level needs a power-of-two tree count (the paper's "
             "figure shows 3 of the 2^(log n - 3) trees with an ellipsis)"
         )
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     n = num_trees * 8
     # Build the level-3 input: per tree, 4 ascending then 4 descending.
     keys = np.empty(n, dtype=np.float32)

@@ -39,6 +39,7 @@ The data flow per recursion level ``j`` (Listing 5):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -86,6 +87,13 @@ class GPUABiSorter:
     validate_levels:
         Host-side debugging aid: after every recursion level, check that the
         tree half holds sorted runs of the expected length and direction.
+    machine_factory:
+        Where each sort's :class:`StreamMachine` comes from.  By default the
+        sorter builds a private machine per sort; a multi-device driver
+        (:mod:`repro.cluster.device`) instead passes a factory bound to one
+        simulated device, so the op log and counters land on *that* device
+        rather than on an implicitly global machine.  The factory receives
+        the ``distinct_io`` flag the machine must enforce.
     """
 
     def __init__(
@@ -94,6 +102,7 @@ class GPUABiSorter:
         schedule: str = "overlapped",
         gpu_semantics: bool = True,
         validate_levels: bool = False,
+        machine_factory: Callable[[bool], StreamMachine] | None = None,
     ):
         if schedule not in SCHEDULES:
             raise SortInputError(
@@ -102,6 +111,9 @@ class GPUABiSorter:
         self.schedule = schedule
         self.gpu_semantics = gpu_semantics
         self.validate_levels = validate_levels
+        self.machine_factory = machine_factory or (
+            lambda distinct_io: StreamMachine(distinct_io=distinct_io)
+        )
         self.last_machine: StreamMachine | None = None
 
     # -- public API ---------------------------------------------------------
@@ -137,7 +149,7 @@ class GPUABiSorter:
                 f"(pad with repro.workloads.records.pad_to_power_of_two)"
             )
         check_unique_ids(values)
-        machine = StreamMachine(distinct_io=self.gpu_semantics)
+        machine = self.machine_factory(self.gpu_semantics)
         nodes_in = machine.alloc("nodes_in", NODE_DTYPE, 2 * n)
         if self.gpu_semantics:
             nodes_out = machine.alloc("nodes_out", NODE_DTYPE, 2 * n)

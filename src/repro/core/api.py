@@ -59,14 +59,23 @@ class ABiSortConfig:
     validate_levels: bool = False
 
 
-def make_sorter(config: ABiSortConfig | None = None) -> GPUABiSorter:
-    """Instantiate the sorter described by ``config``."""
+def make_sorter(
+    config: ABiSortConfig | None = None, *, machine_factory=None
+) -> GPUABiSorter:
+    """Instantiate the sorter described by ``config``.
+
+    ``machine_factory`` optionally binds the sorter to a stream-machine
+    source other than the default private-machine-per-sort -- the hook the
+    multi-device drivers of :mod:`repro.cluster` use to run one sorter per
+    simulated device (see :class:`repro.core.abisort.GPUABiSorter`).
+    """
     config = config or ABiSortConfig()
     cls = OptimizedGPUABiSorter if config.optimized else GPUABiSorter
     return cls(
         schedule=config.schedule,
         gpu_semantics=config.gpu_semantics,
         validate_levels=config.validate_levels,
+        machine_factory=machine_factory,
     )
 
 

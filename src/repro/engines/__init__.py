@@ -8,9 +8,10 @@ benchmarks, examples) goes through:
   the per-engine :class:`EngineCapabilities` flags;
 * :mod:`repro.engines.registry` -- the pluggable backend registry
   (:func:`register` / :func:`get` / :func:`available`);
-* :mod:`repro.engines.adapters` -- the twelve built-in backends (GPU-ABiSort
-  variants, the Section-2.2 baselines, the CPU sorts, and the out-of-core
-  pipeline), registered on import.
+* :mod:`repro.engines.adapters` -- the thirteen built-in backends
+  (GPU-ABiSort variants, the multi-device sharded engine, the Section-2.2
+  baselines, the CPU sorts, and the out-of-core pipeline), registered on
+  import.
 
 Quick use::
 
@@ -26,6 +27,8 @@ Quick use::
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 
@@ -87,19 +90,28 @@ def _as_request(request) -> SortRequest:
     )
 
 
-def sort(request, engine: str | None = None) -> SortResult:
+def sort(request, engine: str | None = None, devices: int | None = None) -> SortResult:
     """Serve one sort request through the registry.
 
     ``request`` is a :class:`SortRequest` (or, for convenience, a bare
     array: ``VALUE_DTYPE`` arrays sort as values, anything else as plain
     keys).  ``engine`` names a registered backend; the default is
-    :data:`DEFAULT_ENGINE`.
+    :data:`DEFAULT_ENGINE`.  ``devices`` overrides the request's device
+    count for cluster-aware engines, e.g.
+    ``repro.sort(values, engine="sharded-abisort", devices=4)``.
     """
-    return get(engine).sort(_as_request(request))
+    req = _as_request(request)
+    if devices is not None:
+        # Copy before overriding: the caller's request object must not come
+        # back mutated (a reused request would silently keep the override).
+        req = dataclasses.replace(req, devices=devices)
+    return get(engine).sort(req)
 
 
-def sort_batch(requests, engine: str | None = None) -> BatchResult:
-    """Serve a sequence of requests sequentially on one shared engine.
+def sort_batch(
+    requests, engine: str | None = None, devices: int | None = None
+) -> BatchResult:
+    """Serve a sequence of requests on one shared engine.
 
     The engine instance is constructed once and reused for every request --
     layout plans, kernel closures, and any mapping caches warm up on the
@@ -107,11 +119,81 @@ def sort_batch(requests, engine: str | None = None) -> BatchResult:
     :class:`BatchResult` with the per-request results plus one aggregate
     :class:`SortTelemetry` summed over the batch (``telemetry.requests``
     counts the batch size).
+
+    With ``devices=N`` (N > 1) the batch takes the **cluster fast path**:
+    independent requests are assigned round-robin to N modeled devices (one
+    engine instance per device), and the event-driven scheduler of
+    :mod:`repro.cluster.scheduler` overlaps each request's upload, sort,
+    and download across the per-device transfer links.  The per-request
+    results are identical to the sequential path; the aggregate telemetry's
+    ``modeled_makespan_ms`` / ``pipeline_bubble_ms`` / ``transfer_bytes``
+    describe the concurrent schedule, and the schedule itself is attached
+    as :attr:`BatchResult.schedule`.
     """
     requests = [_as_request(r) for r in requests]
+    if devices is not None and devices > 1 and requests:
+        return _sort_batch_cluster(requests, engine, devices)
     eng = get(engine)
     results = [eng.sort(r) for r in requests]
     total = SortTelemetry(requests=0)
     for res in results:
         total.add(res.telemetry)
     return BatchResult(results=results, telemetry=total)
+
+
+def _sort_batch_cluster(
+    requests: list[SortRequest], engine: str | None, devices: int
+) -> BatchResult:
+    """The ``sort_batch`` fast path: requests scheduled across devices.
+
+    The device models (GPU + host/link) come from the first request -- a
+    cluster is physical hardware, not a per-request property.  Each device
+    gets its own engine instance, mirroring the single-engine reuse of the
+    sequential path on a per-device basis.
+    """
+    from repro.cluster.device import make_devices
+    from repro.cluster.scheduler import PipelineTask, Scheduler
+
+    cluster = make_devices(
+        devices, gpu=requests[0].gpu, host=requests[0].host
+    )
+    engines_by_device = {d.index: get(engine) for d in cluster}
+    scheduler = Scheduler(cluster, overlap=True)
+    assignment = scheduler.assign_round_robin(len(requests))
+
+    results: list[SortResult] = []
+    tasks: list[PipelineTask] = []
+    for i, (req, dev) in enumerate(zip(requests, assignment)):
+        res = engines_by_device[dev].sort(req)
+        results.append(res)
+        # Stream-machine engines pay the bus round trip; host-side engines
+        # (cpu-*, external) have nothing to upload to a device.
+        on_device = res.machine is not None or res.cluster is not None
+        nbytes = res.values.nbytes if on_device else 0
+        sort_ms = (
+            res.telemetry.modeled_gpu_ms
+            if on_device
+            else res.telemetry.modeled_total_ms
+        )
+        tasks.append(
+            PipelineTask(
+                label=f"req{i}",
+                device=dev,
+                upload_bytes=nbytes,
+                sort_ms=sort_ms,
+                download_bytes=nbytes,
+            )
+        )
+    schedule = scheduler.run(tasks)
+
+    total = SortTelemetry(requests=0)
+    for res in results:
+        total.add(res.telemetry)
+    total.devices = len(cluster)
+    total.transfer_bytes = schedule.transfer_bytes
+    total.modeled_transfer_ms = sum(
+        e.duration_ms for e in schedule.events if e.stage in ("upload", "download")
+    )
+    total.modeled_makespan_ms = schedule.makespan_ms
+    total.pipeline_bubble_ms = schedule.bubble_ms
+    return BatchResult(results=results, telemetry=total, schedule=schedule)

@@ -1,6 +1,6 @@
 """Built-in engine adapters: every sorter in the repository, one interface.
 
-Twelve backends, grouped by substrate:
+Thirteen backends, grouped by substrate:
 
 ==========================  =============================================
 engine name                 wraps
@@ -12,6 +12,9 @@ engine name                 wraps
 ``abisort-sequential-optimized``  sequential phases + Section 7
 ``abisort-brook``           overlapped + optimized under Brook-style
                             single-stream semantics (Section 6.1, off)
+``sharded-abisort``         GPU-ABiSort sharded across N modeled devices
+                            with the transfer-overlap pipeline and a
+                            loser-tree merge (:mod:`repro.cluster`)
 ``bitonic-network``         Batcher bitonic network / GPUSort [GRHM05]
 ``odd-even-merge``          Batcher odd-even merge sort [KSW04, KW05]
 ``periodic-balanced``       periodic balanced sorting network [GRM05]
@@ -63,6 +66,7 @@ from repro.stream.stream import VALUE_DTYPE
 
 __all__ = [
     "ABiSortEngine",
+    "ShardedABiSortEngine",
     "NetworkEngine",
     "TransitionSortEngine",
     "QuicksortEngine",
@@ -128,6 +132,82 @@ class ABiSortEngine(SortEngine):
             out = self._sorter.sort(values)
         machine = self._sorter.last_machine
         return out, _machine_telemetry(machine, request, tiled=False), machine
+
+
+class ShardedABiSortEngine(SortEngine):
+    """Multi-device GPU-ABiSort (:mod:`repro.cluster`) behind the engine API.
+
+    The request is partitioned across ``request.devices`` modeled devices
+    (default 2) built from the request's GPU and host models; every shard
+    sorts for real on its own device's stream machines, the scheduler
+    overlaps each shard's upload/sort/download over the per-device transfer
+    links, and a loser-tree k-way merge recombines the runs.  Output is
+    bit-identical to the single-device ``abisort`` engine for any device
+    count.
+
+    This engine always runs the cost model (the overlapped schedule *is*
+    modeled time), so the cluster telemetry fields are populated regardless
+    of ``request.model_time``.
+    """
+
+    name = "sharded-abisort"
+    description = (
+        "GPU-ABiSort sharded across N devices, transfer-overlap pipeline + "
+        "loser-tree merge"
+    )
+    capabilities = EngineCapabilities(any_length=True, key_value=True, stable=True)
+
+    def __init__(
+        self,
+        devices: int = 2,
+        slices_per_device: int = 2,
+        overlap: bool = True,
+        config: ABiSortConfig | None = None,
+    ):
+        self.default_devices = devices
+        self.slices_per_device = slices_per_device
+        self.overlap = overlap
+        self.config = config or ABiSortConfig()
+
+    def _run(self, values, request):
+        from repro.cluster.device import make_devices
+        from repro.cluster.sharded import ShardedSorter
+
+        count = request.devices or self.default_devices
+        devices = make_devices(count, gpu=request.gpu, host=request.host)
+        sorter = ShardedSorter(
+            devices,
+            config=self.config,
+            slices_per_device=self.slices_per_device,
+            overlap=self.overlap,
+            mapping=request.mapping or ZOrderMapping(),
+            host=request.host,
+        )
+        res = sorter.sort(values)
+
+        telemetry = SortTelemetry(
+            cpu_ops=res.merge_comparisons,
+            devices=res.plan.used_devices,
+            transfer_bytes=res.schedule.transfer_bytes,
+            modeled_gpu_ms=sum(res.shard_sort_ms),
+            modeled_cpu_ms=res.merge_modeled_ms,
+            modeled_makespan_ms=res.schedule.makespan_ms,
+            pipeline_bubble_ms=res.schedule.bubble_ms,
+            modeled_transfer_ms=sum(
+                e.duration_ms
+                for e in res.schedule.events
+                if e.stage in ("upload", "download")
+            ),
+        )
+        for device in devices:
+            counters = device.counters()
+            telemetry.stream_ops += counters.stream_ops
+            telemetry.kernel_ops += counters.kernel_ops
+            telemetry.copy_ops += counters.copy_ops
+            telemetry.kernel_instances += counters.instances
+            telemetry.bytes_moved += counters.total_bytes
+            telemetry.gather_bytes += counters.gather_bytes
+        return res.values, telemetry, None, res
 
 
 class NetworkEngine(SortEngine):
@@ -254,7 +334,7 @@ def _next_pow2(n: int) -> int:
 
 
 def register_builtin_engines() -> None:
-    """Register the twelve built-in backends (idempotent)."""
+    """Register the thirteen built-in backends (idempotent)."""
     from repro.engines.registry import _REGISTRY
 
     abisort_variants = [
@@ -323,6 +403,7 @@ def register_builtin_engines() -> None:
             )
 
     for cls in (
+        ShardedABiSortEngine,
         TransitionSortEngine,
         QuicksortEngine,
         StdSortEngine,

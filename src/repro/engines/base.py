@@ -123,6 +123,10 @@ class SortRequest:
     host: HostSystem = PCIE_SYSTEM
     mapping: Mapping2D | None = None
     model_time: bool = True
+    #: Device count for cluster-aware engines (``sharded-abisort``) and the
+    #: ``sort_batch`` fast path; ``None`` keeps the engine's own default.
+    #: Single-device engines ignore it.
+    devices: int | None = None
 
     def to_values(self) -> np.ndarray:
         """Normalise the input to a ``VALUE_DTYPE`` array (without copying
@@ -153,6 +157,15 @@ class SortTelemetry:
     ``modeled_io_ms``.  ``wall_time_s`` is always the measured wall time of
     the simulation itself (a statement about this library's Python speed,
     not about 2006 hardware).
+
+    Cluster-aware dispatch (the ``sharded-abisort`` engine and the
+    ``sort_batch(..., devices=N)`` fast path) additionally fills the
+    multi-device fields: ``devices`` (devices that did work),
+    ``transfer_bytes`` / ``modeled_transfer_ms`` (bus traffic over the
+    per-device links), ``pipeline_bubble_ms`` (compute idle while waiting
+    on transfers), and ``modeled_makespan_ms`` -- the critical-path
+    completion time of the overlapped schedule, as opposed to
+    ``modeled_total_ms`` which sums the stage times as if serialized.
     """
 
     n: int = 0
@@ -170,6 +183,11 @@ class SortTelemetry:
     modeled_cpu_ms: float = 0.0
     modeled_io_ms: float = 0.0
     wall_time_s: float = 0.0
+    devices: int = 0
+    transfer_bytes: int = 0
+    modeled_transfer_ms: float = 0.0
+    modeled_makespan_ms: float = 0.0
+    pipeline_bubble_ms: float = 0.0
 
     @property
     def modeled_total_ms(self) -> float:
@@ -177,13 +195,21 @@ class SortTelemetry:
         return self.modeled_gpu_ms + self.modeled_cpu_ms + self.modeled_io_ms
 
     def add(self, other: "SortTelemetry") -> None:
-        """Accumulate another record into this one (batch aggregation)."""
+        """Accumulate another record into this one (batch aggregation).
+
+        Counters and modeled times sum (summed ``modeled_makespan_ms``
+        means requests running back to back; the cluster batch path
+        overwrites it with the overlapped schedule's makespan).
+        ``devices`` takes the maximum: a batch on a 4-device cluster used 4
+        devices, not 4 per request summed.
+        """
         for f in fields(self):
-            if f.name == "n" or f.name == "requests":
+            if f.name in ("n", "requests", "devices"):
                 continue
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         self.n += other.n
         self.requests += other.requests
+        self.devices = max(self.devices, other.devices)
 
     def summary(self) -> str:
         """One-line human-readable account of the populated fields."""
@@ -202,6 +228,11 @@ class SortTelemetry:
             )
         if self.modeled_total_ms:
             parts.append(f"modeled {self.modeled_total_ms:.2f} ms")
+        if self.devices:
+            parts.append(
+                f"{self.devices} devices, {self.transfer_bytes / 1e6:.1f} MB "
+                f"over the bus, makespan {self.modeled_makespan_ms:.2f} ms"
+            )
         parts.append(f"wall {self.wall_time_s * 1e3:.1f} ms")
         return ", ".join(parts)
 
@@ -215,13 +246,18 @@ class SortResult:
     ``ids`` being the permutation that reorders any associated payload.
     ``machine`` is the stream machine the run executed on, when the engine
     runs on one (the full op log, for analyses beyond the telemetry
-    aggregates); CPU and trivial (n <= 1) runs leave it ``None``.
+    aggregates); CPU and trivial (n <= 1) runs leave it ``None``.  The
+    cluster engine runs on *several* machines and leaves ``machine`` None
+    too -- it instead attaches the full
+    :class:`repro.cluster.sharded.ShardedSortResult` (shard plan, pipeline
+    schedule, per-device logs) as ``cluster``.
     """
 
     values: np.ndarray
     engine: str
     telemetry: SortTelemetry
     machine: StreamMachine | None = None
+    cluster: object | None = None
 
     def __len__(self) -> int:
         return self.values.shape[0]
@@ -240,10 +276,14 @@ class SortResult:
 @dataclass
 class BatchResult:
     """The outputs of :func:`repro.sort_batch`: per-request results plus an
-    aggregate telemetry record summed over the batch."""
+    aggregate telemetry record summed over the batch.  When the batch ran
+    on the cluster fast path (``devices=N``), ``schedule`` carries the full
+    :class:`repro.cluster.scheduler.ClusterSchedule` of the overlapped
+    execution."""
 
     results: list[SortResult]
     telemetry: SortTelemetry
+    schedule: object | None = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -261,7 +301,9 @@ class SortEngine(ABC):
     Subclasses set :attr:`name`, :attr:`capabilities`, and
     :attr:`description`, and implement :meth:`_run`, which receives a
     non-trivial (n >= 2) ``VALUE_DTYPE`` array plus the originating request
-    and returns ``(sorted_values, telemetry, machine_or_None)``.  The base
+    and returns ``(sorted_values, telemetry, machine_or_None)``
+    (cluster-aware engines may append a fourth element, attached to the
+    result as :attr:`SortResult.cluster`).  The base
     class owns everything engine-independent: input normalisation,
     capability checking, the uniform empty/single-element semantics, and
     wall-time measurement.
@@ -282,13 +324,19 @@ class SortEngine(ABC):
         self._check(request, n)
         start = time.perf_counter()
         if n <= 1:
-            out, telemetry, machine = values.copy(), SortTelemetry(), None
+            ran = (values.copy(), SortTelemetry(), None)
         else:
-            out, telemetry, machine = self._run(values, request)
+            ran = self._run(values, request)
+        out, telemetry, machine = ran[:3]
+        cluster = ran[3] if len(ran) > 3 else None
         telemetry.n = n
         telemetry.wall_time_s = time.perf_counter() - start
         return SortResult(
-            values=out, engine=self.name, telemetry=telemetry, machine=machine
+            values=out,
+            engine=self.name,
+            telemetry=telemetry,
+            machine=machine,
+            cluster=cluster,
         )
 
     # -- hooks ---------------------------------------------------------------

@@ -1,11 +1,14 @@
 """Workload generation and verification helpers.
 
+* :mod:`repro.workloads.rng` -- the one seeded RNG helper every generator
+  and benchmark draws from (:func:`seeded_rng`).
 * :mod:`repro.workloads.generators` -- seeded sort-key distributions (the
   paper's uniform random floats plus standard stress distributions).
 * :mod:`repro.workloads.records` -- value/pointer record workloads
   (database-style payload tables), padding, and result verification.
 """
 
+from repro.workloads.rng import DEFAULT_SEED, seeded_rng
 from repro.workloads.generators import (
     DISTRIBUTIONS,
     generate_keys,
@@ -19,6 +22,8 @@ from repro.workloads.records import (
 )
 
 __all__ = [
+    "DEFAULT_SEED",
+    "seeded_rng",
     "DISTRIBUTIONS",
     "generate_keys",
     "paper_workload",

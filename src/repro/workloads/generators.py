@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import SortInputError
 from repro.core.values import make_values
+from repro.workloads.rng import seeded_rng
 
 __all__ = ["DISTRIBUTIONS", "generate_keys", "paper_workload"]
 
@@ -91,7 +92,7 @@ def generate_keys(distribution: str, n: int, seed: int = 0) -> np.ndarray:
         ) from None
     if n < 0:
         raise SortInputError("n must be non-negative")
-    return gen(np.random.default_rng(seed), n)
+    return gen(seeded_rng(seed), n)
 
 
 def paper_workload(n: int, seed: int = 0) -> np.ndarray:

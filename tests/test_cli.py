@@ -66,8 +66,29 @@ class TestCLI:
         for flag in ("any_length", "key_value", "out_of_core", "stable"):
             assert flag in out
         for engine in ("abisort", "bitonic-network", "cpu-quicksort",
-                       "external", "periodic-balanced"):
+                       "external", "periodic-balanced", "sharded-abisort"):
             assert engine in out
+        # Every engine row carries a one-line description and the default
+        # engine is starred.
+        assert "abisort*" in out
+        assert "loser-tree merge" in out  # sharded-abisort's description
+        assert "NumPy lexsort" in out     # cpu-std's description
+
+    def test_cluster_command(self, capsys):
+        assert main(["cluster", "--n", "1024", "--devices", "4",
+                     "--gpu", "7800"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded sort of 1024 pairs" in out
+        assert "4 x GeForce 7800 GTX" in out
+        assert "makespan" in out
+        assert "bubble" in out
+        assert "output bit-identical to single-device engine: yes" in out
+
+    def test_cluster_command_6800(self, capsys):
+        assert main(["cluster", "--n", "512", "--devices", "2",
+                     "--gpu", "6800"]) == 0
+        out = capsys.readouterr().out
+        assert "GeForce 6800 Ultra" in out and "AGP" in out
 
     def test_sort_with_engine(self, capsys):
         assert main(["sort", "--n", "256", "--engine", "bitonic-network"]) == 0
