@@ -21,7 +21,7 @@ from repro.workloads.generators import paper_workload
 N = 1 << 13
 
 
-def test_gpu_semantics_cost(benchmark):
+def test_gpu_semantics_cost(benchmark, bench_json):
     values = paper_workload(N)
 
     def run():
@@ -47,6 +47,10 @@ def test_gpu_semantics_cost(benchmark):
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     brook, gpu = res["brook"], res["gpu"]
+    bench_json(n=N, rows={
+        label: {k: v for k, v in r.items() if k != "result"}
+        for label, r in res.items()
+    })
     print(f"\nSection-6.1 ablation at n = 2^13 (6800 model):")
     for label in ("brook", "gpu"):
         r = res[label]

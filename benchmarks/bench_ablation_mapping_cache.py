@@ -40,7 +40,7 @@ def run_with_traces():
     return sorter.last_machine
 
 
-def test_linear_read_shape_efficiency(benchmark):
+def test_linear_read_shape_efficiency(benchmark, bench_json):
     machine = run_with_traces()
     cfg = CacheConfig()
     row_m, z_m = RowWiseMapping(2048), ZOrderMapping()
@@ -60,6 +60,7 @@ def test_linear_read_shape_efficiency(benchmark):
         return out
 
     effs = benchmark.pedantic(weighted_efficiency, rounds=1, iterations=1)
+    bench_json(n=N, efficiencies=effs)
     print(f"\nlinear-read bandwidth efficiency over all substreams "
           f"(n = 2^13): row-wise {effs['row-wise']:.3f}, "
           f"z-order {effs['z-order']:.3f}")
@@ -67,7 +68,7 @@ def test_linear_read_shape_efficiency(benchmark):
     assert effs["z-order"] > 0.8
 
 
-def test_gather_trace_cache_efficiency(benchmark):
+def test_gather_trace_cache_efficiency(benchmark, bench_json):
     machine = run_with_traces()
     cfg = CacheConfig(block=8, capacity_blocks=128)
 
@@ -83,6 +84,7 @@ def test_gather_trace_cache_efficiency(benchmark):
         return out
 
     effs = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    bench_json(n=N, efficiencies=effs)
     print(f"\ngather (pointer-chase) cache efficiency: "
           f"row-wise {effs['row-wise']:.3f}, z-order {effs['z-order']:.3f}")
     assert effs["z-order"] > 1.5 * effs["row-wise"]

@@ -32,7 +32,7 @@ def profile(sorter) -> dict:
     }
 
 
-def test_section7_ablation(benchmark):
+def test_section7_ablation(benchmark, bench_json):
     def run():
         return {
             "base sequential": profile(GPUABiSorter(schedule="sequential")),
@@ -41,6 +41,7 @@ def test_section7_ablation(benchmark):
         }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_json(n=N, rows=results)
     print(f"\nablation at n = 2^14 (GeForce 6800 model, Z-order):")
     for name, r in results.items():
         print(f"  {name:<16}  ops {r['ops']:>5}  instances {r['instances']:>8}"

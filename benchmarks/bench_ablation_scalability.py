@@ -27,7 +27,7 @@ N = 1 << 14
 UNITS = (1, 2, 4, 8, 16, 32, 64)
 
 
-def test_scaling_with_fragment_units(benchmark):
+def test_scaling_with_fragment_units(benchmark, bench_json):
     def run():
         sorter = OptimizedGPUABiSorter()
         sorter.sort(paper_workload(N))
@@ -45,6 +45,10 @@ def test_scaling_with_fragment_units(benchmark):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_json(n=N, rows=[
+        {"units": u, "abisort_ms": abi, "gpusort_ms": net}
+        for u, abi, net in rows
+    ])
     print(f"\nmodeled time vs fragment units (n = 2^14, 6800-class model):")
     print("  units   GPU-ABiSort    GPUSort")
     for u, abi, net in rows:
@@ -59,7 +63,7 @@ def test_scaling_with_fragment_units(benchmark):
     assert abi_times[-2] / abi_times[-1] < 1.3
 
 
-def test_ideal_model_and_processor_bounds(benchmark):
+def test_ideal_model_and_processor_bounds(benchmark, bench_json):
     def run():
         n = 1 << 20
         return {
@@ -69,6 +73,7 @@ def test_ideal_model_and_processor_bounds(benchmark):
         }
 
     out = benchmark(run)
+    bench_json(**out)
     assert out["speedup_p16"] == 16.0  # perfect scaling in the ideal model
     assert out["max_p_multiblock"] == (1 << 20) // 20
     assert out["max_p_contiguous"] == (1 << 20) // 400

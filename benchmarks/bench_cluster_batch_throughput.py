@@ -49,13 +49,15 @@ def _throughputs(gpu, host) -> dict[int, float]:
     return out
 
 
-def test_batch_throughput_vs_batch_size(benchmark):
+def test_batch_throughput_vs_batch_size(benchmark, bench_json):
     def compute():
         return {
             label: _throughputs(gpu, host) for label, gpu, host in SYSTEMS
         }
 
     results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    bench_json(devices=DEVICES, n_per_request=N_PER_REQUEST,
+               throughput=results)
     print(f"\nbatch throughput on {DEVICES} devices, 2^13 pairs/request "
           f"(modeled Mpairs/s):")
     header = "  ".join(f"batch={s:>2}" for s in BATCH_SIZES)

@@ -22,7 +22,7 @@ DEVICE_COUNTS = (1, 2, 4, 8)
 N = 1 << 16
 
 
-def test_cluster_scaling_7800(benchmark):
+def test_cluster_scaling_7800(benchmark, bench_json):
     values = paper_workload(N, seed=0)
 
     def compute():
@@ -36,6 +36,12 @@ def test_cluster_scaling_7800(benchmark):
         return rows
 
     rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    bench_json(n=N, rows={
+        d: {"makespan_ms": t.modeled_makespan_ms,
+            "bubble_ms": t.pipeline_bubble_ms,
+            "merge_ms": t.modeled_cpu_ms}
+        for d, t in rows
+    })
     base = rows[0][1].modeled_makespan_ms
     print(f"\nsharded GPU-ABiSort of 2^16 pairs, GeForce 7800 GTX / PCIe, "
           f"overlap on:")

@@ -25,7 +25,7 @@ from repro.core.sequential import SequentialCounters, adaptive_bitonic_sort_sequ
 from repro.workloads.generators import generate_keys
 
 
-def test_counted_comparisons_match_law(benchmark):
+def test_counted_comparisons_match_law(benchmark, bench_json):
     n = 1 << 10
     keys = generate_keys("uniform", n, seed=0)
     seq = [(float(k), i) for i, k in enumerate(keys)]
@@ -36,13 +36,15 @@ def test_counted_comparisons_match_law(benchmark):
         return counters.comparisons
 
     measured = benchmark(run)
+    bench_json(n=n, measured=measured,
+               bound=comparisons_upper_bound(n))
     assert measured == abisort_comparison_count(n)
     assert measured < comparisons_upper_bound(n)
     print(f"\nn = {n}: measured {measured} comparisons; "
           f"bound 2 n log n = {int(comparisons_upper_bound(n))}")
 
 
-def test_comparison_table_vs_networks(benchmark):
+def test_comparison_table_vs_networks(benchmark, bench_json):
     def build():
         rows = []
         for e in range(8, 21, 4):
@@ -58,6 +60,7 @@ def test_comparison_table_vs_networks(benchmark):
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    bench_json(rows=rows)
     print("\n  n        ABiSort cmp    bitonic net    odd-even net")
     for n, abi, bit, oem in rows:
         print(f"  2^{int(math.log2(n)):<3}  {abi:>12}  {bit:>13}  "
@@ -67,7 +70,7 @@ def test_comparison_table_vs_networks(benchmark):
         assert bit / abi > math.log2(n) / 8
 
 
-def test_measured_work_gap_via_engines(benchmark):
+def test_measured_work_gap_via_engines(benchmark, bench_json):
     """The asymptotic-work gap as counted telemetry, through the registry.
 
     The same workload is dispatched (one :func:`repro.sort` per engine) to
@@ -89,6 +92,10 @@ def test_measured_work_gap_via_engines(benchmark):
         }
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_json(n=n, rows={
+        engine: {"stream_ops": t.stream_ops, "bytes_moved": t.bytes_moved}
+        for engine, t in rows.items()
+    })
     print(f"\n  measured stream-machine work at n = 2^{int(math.log2(n))}:")
     print(f"  {'engine':<20} {'stream ops':>10} {'MB moved':>9}")
     for engine, t in rows.items():

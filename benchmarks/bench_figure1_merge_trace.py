@@ -21,8 +21,9 @@ PAPER_ROWS = [
 ]
 
 
-def test_figure1_trace(benchmark):
+def test_figure1_trace(benchmark, bench_json):
     rows = benchmark(figure1_merge_trace)
+    bench_json(rows=rows)
     assert rows == PAPER_ROWS
     print("\nFigure 1 (bitonic merge of 16 values), regenerated:")
     for row in rows:

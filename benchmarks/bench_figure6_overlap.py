@@ -20,16 +20,18 @@ FIGURE6 = [
 ]
 
 
-def test_figure6(benchmark):
+def test_figure6(benchmark, bench_json):
     rows = benchmark(figure6_table)
+    bench_json(rows=rows)
     assert rows == FIGURE6
     print("\n" + format_figure(rows, "Figure 6 (overlapped, j = 4, n = 2^5), regenerated:"))
 
 
-def test_step_law(benchmark):
+def test_step_law(benchmark, bench_json):
     def law():
         return [len(overlapped_schedule(j)) for j in range(1, 21)]
 
     counts = benchmark(law)
+    bench_json(step_counts=counts)
     assert counts == [overlapped_step_count(j) for j in range(1, 21)]
     assert counts == [2 * j - 1 for j in range(1, 21)]

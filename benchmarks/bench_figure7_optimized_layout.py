@@ -19,18 +19,20 @@ FIGURE7 = [
 ]
 
 
-def test_figure7(benchmark):
+def test_figure7(benchmark, bench_json):
     rows = benchmark(figure7_table)
+    bench_json(rows=rows)
     assert rows == FIGURE7
     print("\n" + format_figure(
         rows, "Figure 7 (truncated merge, j = 6, n' = 16), regenerated:"
     ))
 
 
-def test_truncated_step_law(benchmark):
+def test_truncated_step_law(benchmark, bench_json):
     def law():
         return [len(truncated_overlapped_schedule(j, 4)) for j in range(5, 21)]
 
     counts = benchmark(law)
+    bench_json(step_counts=counts)
     assert counts == [truncated_step_count(j, 4) for j in range(5, 21)]
     assert counts == [2 * j - 5 for j in range(5, 21)]

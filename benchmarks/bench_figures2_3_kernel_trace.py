@@ -23,11 +23,15 @@ from repro.analysis.merge_trace import format_merge_trace, trace_level_merge
 from repro.core.layout import phase_block
 
 
-def test_figure2_3_trace(benchmark):
+def test_figure2_3_trace(benchmark, bench_json):
     trace = benchmark.pedantic(
         trace_level_merge, kwargs={"num_trees": 4, "seed": 1},
         rounds=1, iterations=1,
     )
+    bench_json(phases=[
+        {"stage": pt.stage, "phase": pt.phase, "out_block": pt.out_block}
+        for pt in trace.phases
+    ])
     print("\n" + format_merge_trace(trace))
 
     log_n = 5  # 4 trees of 8 values

@@ -22,14 +22,16 @@ FIGURE4 = [
 ]
 
 
-def test_figure4(benchmark):
+def test_figure4(benchmark, bench_json):
     rows = benchmark(figure4_table)
+    bench_json(rows=rows)
     assert rows == FIGURE4
     print("\n" + format_figure(rows, "Figure 4 (j = 4, n = 2^4), regenerated:"))
 
 
-def test_figure5(benchmark):
+def test_figure5(benchmark, bench_json):
     rows = benchmark(figure5_table)
+    bench_json(rows=rows)
     assert rows[0] == ("0 0", "0s 0s")
     assert rows[-1] == (
         "3 0",

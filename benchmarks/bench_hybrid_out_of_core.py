@@ -21,7 +21,7 @@ N = 1 << 16
 CHUNK = 1 << 13
 
 
-def test_out_of_core_pipeline(benchmark):
+def test_out_of_core_pipeline(benchmark, bench_json):
     rng = seeded_rng(0)
     data = make_values(rng.random(N, dtype=np.float32))
 
@@ -34,6 +34,11 @@ def test_out_of_core_pipeline(benchmark):
         return disk, report
 
     disk, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_json(n=N, chunk=CHUNK, runs=report.runs,
+               gpu_modeled_ms=report.gpu_modeled_ms,
+               io_modeled_ms=report.io_modeled_ms,
+               merge_comparisons=report.merge_comparisons,
+               disk_seeks=report.disk_seeks, disk_bytes=report.disk_bytes)
     out = disk.read("out", 0, N)
     assert np.array_equal(out, reference_sort(data))
 
@@ -48,10 +53,11 @@ def test_out_of_core_pipeline(benchmark):
     assert report.io_modeled_ms > report.gpu_modeled_ms
 
 
-def test_wide_key_sort(benchmark):
+def test_wide_key_sort(benchmark, bench_json):
     rng = seeded_rng(1)
     keys = rng.integers(0, 1 << 62, 1 << 12, dtype=np.uint64)
 
     order = benchmark.pedantic(sort_wide_keys, args=(keys,), rounds=1, iterations=1)
+    bench_json(n=int(keys.shape[0]), passes=4)
     assert np.array_equal(keys[order], np.sort(keys))
     print(f"\nwide keys: {keys.shape[0]} x 64-bit sorted via 4 float-digit passes")

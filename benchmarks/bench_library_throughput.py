@@ -27,7 +27,17 @@ from repro.workloads.rng import seeded_rng
 N = 1 << 13
 
 
-def _engine_throughput(benchmark, engine: str, n: int = N):
+def _mean_s(benchmark) -> float | None:
+    """The measured mean wall seconds, when the benchmark actually ran
+    (``--benchmark-disable`` leaves no stats)."""
+    stats = getattr(benchmark, "stats", None)
+    try:
+        return float(stats.stats.mean) if stats is not None else None
+    except AttributeError:
+        return None
+
+
+def _engine_throughput(benchmark, bench_json, engine: str, n: int = N):
     """Benchmark one registered engine end to end (telemetry counted, cost
     model off); the engine instance is reused across rounds, as in
     :func:`repro.sort_batch`."""
@@ -36,33 +46,34 @@ def _engine_throughput(benchmark, engine: str, n: int = N):
     result = benchmark(eng.sort, request)
     assert result.values.shape == (n,)
     assert result.telemetry.n == n
+    bench_json(engine=engine, n=n, mean_wall_s=_mean_s(benchmark))
     return result
 
 
-def test_throughput_abisort_optimized(benchmark):
-    _engine_throughput(benchmark, "abisort")
+def test_throughput_abisort_optimized(benchmark, bench_json):
+    _engine_throughput(benchmark, bench_json, "abisort")
 
 
-def test_throughput_abisort_unoptimized(benchmark):
-    _engine_throughput(benchmark, "abisort-overlapped")
+def test_throughput_abisort_unoptimized(benchmark, bench_json):
+    _engine_throughput(benchmark, bench_json, "abisort-overlapped")
 
 
-def test_throughput_bitonic_network(benchmark):
-    result = _engine_throughput(benchmark, "bitonic-network")
+def test_throughput_bitonic_network(benchmark, bench_json):
+    result = _engine_throughput(benchmark, bench_json, "bitonic-network")
     assert result.telemetry.stream_ops > 0
 
 
-def test_throughput_quicksort(benchmark):
-    result = _engine_throughput(benchmark, "cpu-quicksort")
+def test_throughput_quicksort(benchmark, bench_json):
+    result = _engine_throughput(benchmark, bench_json, "cpu-quicksort")
     assert result.telemetry.cpu_ops > 0
 
 
-def test_throughput_external(benchmark):
-    result = _engine_throughput(benchmark, "external")
+def test_throughput_external(benchmark, bench_json):
+    result = _engine_throughput(benchmark, bench_json, "external")
     assert result.telemetry.disk_bytes > 0
 
 
-def test_throughput_local_sort_kernel(benchmark):
+def test_throughput_local_sort_kernel(benchmark, bench_json):
     """The vectorised odd-even transition sort across 2^13 instances."""
     values = paper_workload(N * 8)
 
@@ -80,9 +91,10 @@ def test_throughput_local_sort_kernel(benchmark):
         return dst
 
     benchmark(run)
+    bench_json(n=N, kernel="local_sort8", mean_wall_s=_mean_s(benchmark))
 
 
-def test_throughput_morton_roundtrip(benchmark):
+def test_throughput_morton_roundtrip(benchmark, bench_json):
     idx = np.arange(1 << 18, dtype=np.uint64)
 
     def run():
@@ -90,10 +102,11 @@ def test_throughput_morton_roundtrip(benchmark):
         return morton_encode(ax, ay)
 
     out = benchmark(run)
+    bench_json(n=int(idx.shape[0]), mean_wall_s=_mean_s(benchmark))
     assert np.array_equal(out, idx)
 
 
-def test_throughput_cache_simulator(benchmark):
+def test_throughput_cache_simulator(benchmark, bench_json):
     mapping = ZOrderMapping()
     rng = seeded_rng(0)
     trace = rng.integers(0, 1 << 16, 1 << 16)
@@ -105,4 +118,5 @@ def test_throughput_cache_simulator(benchmark):
         return sim.misses
 
     misses = benchmark(run)
+    bench_json(n=1 << 16, misses=misses, mean_wall_s=_mean_s(benchmark))
     assert misses > 0

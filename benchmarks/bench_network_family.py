@@ -30,7 +30,7 @@ ENGINES = {
 }
 
 
-def test_network_family_comparison(benchmark):
+def test_network_family_comparison(benchmark, bench_json):
     values = paper_workload(N)
     expected = reference_sort(values)
 
@@ -44,6 +44,10 @@ def test_network_family_comparison(benchmark):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_json(n=N, rows={
+        name: {"stream_ops": ops, "bytes_moved": nbytes, "modeled_ms": ms}
+        for name, (ops, nbytes, ms) in rows.items()
+    })
     log_n = int(math.log2(N))
     print(f"\nall sorters on the same substrate (n = 2^{log_n}, 7800 model):")
     print(f"  {'sorter':<20} {'stream ops':>10} {'MB moved':>9} {'modeled ms':>11}")

@@ -20,7 +20,7 @@ from repro.analysis.pram import pram_rounds, pram_speedup, pram_work
 SIZES = tuple(1 << e for e in range(6, 15, 2))
 
 
-def test_log2_parallel_time_with_n_over_log_n_processors(benchmark):
+def test_log2_parallel_time_with_n_over_log_n_processors(benchmark, bench_json):
     def sweep():
         rows = []
         for n in SIZES:
@@ -30,6 +30,7 @@ def test_log2_parallel_time_with_n_over_log_n_processors(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    bench_json(rows=[{"n": n, "p": p, "rounds": r} for n, p, r in rows])
     print("\nEREW-PRAM rounds with p = n / log n processors:")
     for n, p, rounds in rows:
         print(f"  n = 2^{int(math.log2(n)):<3} p = {p:>5}   rounds = {rounds}")
@@ -46,11 +47,12 @@ def test_log2_parallel_time_with_n_over_log_n_processors(benchmark):
     assert max(ratios) / min(ratios) < 1.5
 
 
-def test_work_is_optimal(benchmark):
+def test_work_is_optimal(benchmark, bench_json):
     def sweep():
         return [(n, pram_work(n)) for n in SIZES]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    bench_json(rows=[{"n": n, "work": w} for n, w in rows])
     print("\ntotal PRAM work (phase-steps):")
     for n, work in rows:
         ratio = work / (n * math.log2(n))
@@ -61,13 +63,14 @@ def test_work_is_optimal(benchmark):
         assert 0.5 < ratio < 2.0
 
 
-def test_speedup_linear_until_n_over_log_n(benchmark):
+def test_speedup_linear_until_n_over_log_n(benchmark, bench_json):
     n = 1 << 12
 
     def sweep():
         return [(p, pram_speedup(n, p)) for p in (1, 4, 16, 64, 256, 1024)]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    bench_json(n=n, rows=[{"p": p, "speedup": s} for p, s in rows])
     print(f"\nspeedup at n = 2^12:")
     for p, s in rows:
         print(f"  p = {p:>5}: speedup {s:8.1f}  efficiency {s / p:.2f}")

@@ -39,8 +39,12 @@ def ratio_table():
     return rows
 
 
-def test_sequential_abs_within_2_5x_of_quicksort(benchmark):
+def test_sequential_abs_within_2_5x_of_quicksort(benchmark, bench_json):
     rows = benchmark.pedantic(ratio_table, rounds=1, iterations=1)
+    bench_json(rows=[
+        {"n": n, "abs_ops": a, "quicksort_ops": q, "ratio": r}
+        for n, a, q, r in rows
+    ])
     print("\nsequential adaptive bitonic sort vs quicksort (counted ops):")
     print("      n     ABS ops      quicksort    ratio")
     for n, abs_ops, qs_ops, ratio in rows:

@@ -34,25 +34,27 @@ def count_phase_ops(sorter_cls, schedule: str, sizes=SIZES, **kwargs):
     return counts
 
 
-def test_sequential_is_cubic_in_log_n(benchmark):
+def test_sequential_is_cubic_in_log_n(benchmark, bench_json):
     counts = benchmark.pedantic(
         count_phase_ops, args=(GPUABiSorter, "sequential"), rounds=1, iterations=1
     )
+    bench_json(counts=dict(zip(SIZES, counts)))
     print("\nkernel launches, sequential schedule:", dict(zip(SIZES, counts)))
     assert fit_residual(SIZES, counts, 3) < 1e-6
     assert fit_residual(SIZES, counts, 2) > 0.003
 
 
-def test_overlapped_is_quadratic_in_log_n(benchmark):
+def test_overlapped_is_quadratic_in_log_n(benchmark, bench_json):
     counts = benchmark.pedantic(
         count_phase_ops, args=(GPUABiSorter, "overlapped"), rounds=1, iterations=1
     )
+    bench_json(counts=dict(zip(SIZES, counts)))
     print("\nkernel launches, overlapped schedule:", dict(zip(SIZES, counts)))
     assert fit_residual(SIZES, counts, 2) < 1e-6
     assert fit_residual(SIZES, counts, 1) > 0.01
 
 
-def test_optimized_is_quadratic_with_smaller_constant(benchmark):
+def test_optimized_is_quadratic_with_smaller_constant(benchmark, bench_json):
     sizes = tuple(1 << e for e in range(6, 12))
     opt = benchmark.pedantic(
         count_phase_ops,
@@ -61,6 +63,7 @@ def test_optimized_is_quadratic_with_smaller_constant(benchmark):
         rounds=1, iterations=1,
     )
     base = count_phase_ops(GPUABiSorter, "overlapped", sizes=sizes)
+    bench_json(optimized=dict(zip(sizes, opt)), base=dict(zip(sizes, base)))
     print("\nkernel launches, optimized vs base:",
           list(zip(sizes, opt, base)))
     assert all(o < b for o, b in zip(opt, base))

@@ -26,7 +26,7 @@ from repro.workloads.generators import paper_workload
 N = 1 << 14
 
 
-def test_portability_to_stream_processors(benchmark):
+def test_portability_to_stream_processors(benchmark, bench_json):
     def run():
         sorter = repro.make_sorter(repro.ABiSortConfig())
         sorter.sort(paper_workload(N))
@@ -35,6 +35,15 @@ def test_portability_to_stream_processors(benchmark):
         return abi_ops, machine.ops
 
     abi_ops, net_ops = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_json(n=N, rows={
+        model.name: {
+            "abisort_ms": estimate_stream_processor_time_ms(
+                abi_ops, model).total_ms,
+            "network_ms": estimate_stream_processor_time_ms(
+                net_ops, model).total_ms,
+        }
+        for model in (IMAGINE_CLASS, MERRIMAC_CLASS)
+    })
 
     print(f"\nmodeled time on classical stream processors (n = 2^14):")
     for model in (IMAGINE_CLASS, MERRIMAC_CLASS):

@@ -25,8 +25,9 @@ def full_plan(log_n: int):
     return blocks
 
 
-def test_table1_formulas(benchmark):
+def test_table1_formulas(benchmark, bench_json):
     blocks = benchmark(full_plan, 16)
+    bench_json(log_n=16, blocks=len(blocks))
     for b in blocks:
         assert b.length_pairs & (b.length_pairs - 1) == 0
         assert b.start_pair % b.length_pairs == 0

@@ -28,11 +28,16 @@ PAPER_TABLE2 = """paper Table 2 (GeForce 6800, ms):
 1048576    530 - 716       658             479           279"""
 
 
-def test_table2(benchmark):
+def test_table2(benchmark, bench_json):
     sizes = table_sizes()
     rows = benchmark.pedantic(
         table2_rows, args=(sizes,), rounds=1, iterations=1
     )
+    bench_json(rows=[
+        {"n": row.n, "cpu_lo_ms": row.cpu_lo_ms, "cpu_hi_ms": row.cpu_hi_ms,
+         "gpusort_ms": row.gpusort_ms, "abisort_ms": row.abisort_ms}
+        for row in rows
+    ])
     print("\n" + format_timing_table(rows, "Table 2 (modeled, GeForce 6800 Ultra / AGP):"))
     print(PAPER_TABLE2)
     from repro.analysis.plots import timing_plot

@@ -22,11 +22,16 @@ PAPER_TABLE3 = """paper Table 3 (GeForce 7800 GTX, ms):
 1048576     418 - 477      173          135"""
 
 
-def test_table3(benchmark):
+def test_table3(benchmark, bench_json):
     sizes = table_sizes()
     rows = benchmark.pedantic(
         table3_rows, args=(sizes,), rounds=1, iterations=1
     )
+    bench_json(rows=[
+        {"n": row.n, "cpu_lo_ms": row.cpu_lo_ms, "cpu_hi_ms": row.cpu_hi_ms,
+         "gpusort_ms": row.gpusort_ms, "abisort_ms": row.abisort_ms}
+        for row in rows
+    ])
     print("\n" + format_timing_table(rows, "Table 3 (modeled, GeForce 7800 GTX / PCIe):"))
     print(PAPER_TABLE3)
     from repro.analysis.plots import timing_plot

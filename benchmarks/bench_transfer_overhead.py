@@ -19,7 +19,7 @@ from repro.stream.transfer import AGP_LINK, PCIE_LINK
 from repro.stream.gpu_model import PCIE_SYSTEM
 
 
-def test_transfer_round_trip(benchmark):
+def test_transfer_round_trip(benchmark, bench_json):
     def compute():
         return {
             "AGP": AGP_LINK.round_trip_ms(1 << 20),
@@ -27,6 +27,7 @@ def test_transfer_round_trip(benchmark):
         }
 
     result = benchmark(compute)
+    bench_json(round_trip_ms=result)
     print("\nCPU<->GPU round trip for 2^20 value/pointer pairs (modeled):")
     print(f"  AGP  : {result['AGP']:.1f} ms   (paper: ~100 ms)")
     print(f"  PCIe : {result['PCIe']:.1f} ms   (paper: ~20 ms)")
@@ -35,7 +36,7 @@ def test_transfer_round_trip(benchmark):
     assert result["AGP"] / result["PCIe"] == pytest.approx(5.0, rel=0.05)
 
 
-def test_overlap_hides_transfer(benchmark):
+def test_overlap_hides_transfer(benchmark, bench_json):
     """Section 7's three-stage pipeline on the scheduler itself: with
     upload/sort/download overlap, interior chunks' transfers vanish under
     compute, so only the first upload and last download stick out."""
@@ -61,6 +62,10 @@ def test_overlap_hides_transfer(benchmark):
     sort_ms, overlapped, serialized = benchmark.pedantic(
         compute, rounds=1, iterations=1
     )
+    bench_json(chunk=chunk, chunks=chunks, sort_ms=sort_ms,
+               overlapped_makespan_ms=overlapped.makespan_ms,
+               serialized_makespan_ms=serialized.makespan_ms,
+               bubble_ms=overlapped.bubble_ms)
     up_ms = device.link.upload_ms(chunk * 8)
     down_ms = device.link.download_ms(chunk * 8)
     print(f"\n{chunks} chunks of 2^15 pairs on one GeForce 7800 GTX / PCIe:")
@@ -81,7 +86,7 @@ def test_overlap_hides_transfer(benchmark):
     assert overlapped.bubble_ms == pytest.approx(0.0, abs=1e-9)
 
 
-def test_transfer_negligible_vs_cpu_speedup(benchmark):
+def test_transfer_negligible_vs_cpu_speedup(benchmark, bench_json):
     """Even paying the transfer, GPU-ABiSort beats the CPU at 2^17+
     (the Section-8 argument for CPU-side applications)."""
     from repro.analysis.timing import abisort_modeled_ms, cpu_range_ms
@@ -99,6 +104,8 @@ def test_transfer_negligible_vs_cpu_speedup(benchmark):
     sort_ms, transfer_ms, cpu_lo = benchmark.pedantic(
         compute, rounds=1, iterations=1
     )
+    bench_json(n=n, sort_ms=sort_ms, transfer_ms=transfer_ms,
+               cpu_lo_ms=cpu_lo)
     print(f"\nn = 2^17 on the PCIe system: sort {sort_ms:.1f} ms + "
           f"transfer {transfer_ms:.1f} ms vs CPU {cpu_lo:.1f} ms")
     assert sort_ms + transfer_ms < cpu_lo

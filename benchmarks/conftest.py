@@ -8,11 +8,22 @@ section on the terminal.
 By default the timing tables run at reduced sizes (2^12 .. 2^16) to keep a
 benchmark pass under a few minutes; set ``REPRO_FULL_TABLES=1`` to run the
 paper's exact 2^15 .. 2^20 range.
+
+Machine-readable results: every benchmark also emits its computed rows via
+the :func:`bench_json` fixture, which appends them (keyed by test name) to
+``BENCH_<module>.json`` -- one file per benchmark module, under
+``REPRO_BENCH_JSON_DIR`` (default: ``benchmarks/results/``).  CI and
+longitudinal tooling read those instead of scraping stdout.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
+
+import numpy as np
+import pytest
 
 TABLE_SIZES_FAST = tuple(1 << e for e in range(13, 18))
 TABLE_SIZES_FULL = tuple(1 << e for e in range(15, 21))
@@ -22,3 +33,63 @@ def table_sizes() -> tuple[int, ...]:
     if os.environ.get("REPRO_FULL_TABLES") == "1":
         return TABLE_SIZES_FULL
     return TABLE_SIZES_FAST
+
+
+def _json_ready(value):
+    """Recursively convert a benchmark payload to JSON-serializable types
+    (NumPy scalars/arrays, tuples, and non-string dict keys included)."""
+    if isinstance(value, dict):
+        return {str(k): _json_ready(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_ready(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_json_ready(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def results_dir() -> Path:
+    """Where ``BENCH_<module>.json`` files land (created on demand)."""
+    root = os.environ.get("REPRO_BENCH_JSON_DIR")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).parent / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def bench_json(request):
+    """A callable ``emit(**payload)`` writing machine-readable results.
+
+    Each call merges ``payload`` into ``BENCH_<module>.json`` under the
+    current test's name, e.g.::
+
+        def test_scaling(benchmark, bench_json):
+            rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+            bench_json(rows=rows, sizes=SIZES)
+
+    appends ``{"test_scaling": {"rows": ..., "sizes": ...}}`` to
+    ``BENCH_cluster_scaling.json``.  Payloads may contain NumPy scalars /
+    arrays and tuple- or int-keyed dicts; they are converted on the way
+    out.
+    """
+    module = request.node.module.__name__.rpartition(".")[2]
+    name = module.removeprefix("bench_")
+    path = results_dir() / f"BENCH_{name}.json"
+
+    def emit(**payload) -> Path:
+        existing = {}
+        if path.exists():
+            existing = json.loads(path.read_text())
+        existing[request.node.name] = _json_ready(payload)
+        path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return emit

@@ -12,7 +12,6 @@ the modeled sort times plus the network comparison.
 
 from __future__ import annotations
 
-import numpy as np
 
 import repro
 from repro.analysis.complexity import max_processors

@@ -9,7 +9,6 @@ a study companion to the paper.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.figures import (
     figure1_merge_trace,

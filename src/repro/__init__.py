@@ -21,7 +21,9 @@ Quick start (the unified engine API)::
                                                           dtype=np.float32)))
     result.keys, result.ids         # sorted keys + payload permutation
     result.telemetry.summary()      # counted ops, bytes, modeled times
+    result.engine, result.plan      # planner's pick + scored alternatives
 
+    repro.plan(result.values)       # what would run, and why (no sorting)
     repro.engines.available()       # every registered backend
     repro.sort(repro.SortRequest(keys=rng.random(4096, dtype=np.float32)),
                engine="bitonic-network")
@@ -52,7 +54,7 @@ from repro.core.api import (
 )
 from repro.core.abisort import GPUABiSorter
 from repro.core.optimized import OptimizedGPUABiSorter
-from repro import cluster, engines
+from repro import cluster, engines, planner
 from repro.engines import (
     BatchResult,
     EngineCapabilities,
@@ -63,8 +65,27 @@ from repro.engines import (
     sort,
     sort_batch,
 )
+from repro.planner import BatchPlan, Planner, SortPlan
 
-__version__ = "1.1.0"
+
+def plan(request, **kwargs):
+    """The planner's decision for ``request`` without executing it.
+
+    Accepts the same request forms as :func:`repro.sort` (a
+    :class:`SortRequest` or a bare array); returns the
+    :class:`repro.planner.SortPlan` that ``repro.sort(request)`` would
+    execute.  ``kwargs`` construct a dedicated
+    :class:`repro.planner.Planner` (e.g. ``max_devices=8``); with none,
+    the shared default planner (and its plan cache) answers.
+    """
+    from repro.engines import _as_request
+    from repro.planner import default_planner
+
+    chosen = Planner(**kwargs) if kwargs else default_planner()
+    return chosen.plan(_as_request(request))
+
+
+__version__ = "1.2.0"
 
 __all__ = [
     "ReproError",
@@ -89,13 +110,18 @@ __all__ = [
     "OptimizedGPUABiSorter",
     "engines",
     "cluster",
+    "planner",
     "SortEngine",
     "SortRequest",
     "SortResult",
     "SortTelemetry",
     "BatchResult",
     "EngineCapabilities",
+    "Planner",
+    "SortPlan",
+    "BatchPlan",
     "sort",
     "sort_batch",
+    "plan",
     "__version__",
 ]

@@ -4,6 +4,7 @@ Commands
 --------
 
 ``sort``      sort a generated workload, report counters and modeled times
+``plan``      explain the cost-model planner's decision for a request
 ``cluster``   sharded sort across N modeled devices with overlap pipeline
 ``backends``  list the registered sort engines with their capability flags
 ``figures``   regenerate the paper's Figures 1 and 4-7 as text
@@ -12,13 +13,16 @@ Commands
 ``ops``       stream-operation counts of the program variants
 
 ``sort``, ``ops``, and ``profile`` take ``--engine`` to dispatch through
-any registered backend (see ``backends``).
+any registered backend (see ``backends``); ``--engine auto`` (the library
+default) routes through the planner, and ``plan`` shows what it would
+pick and why.
 
 Examples::
 
     python -m repro backends
     python -m repro sort --n 16384 --dist uniform
-    python -m repro sort --n 4096 --engine bitonic-network
+    python -m repro sort --n 4096 --engine auto
+    python -m repro plan --n 65536 --gpu 6800
     python -m repro cluster --n 65536 --devices 4 --gpu 7800
     python -m repro figures 6
     python -m repro table2 --sizes 4096 16384 65536
@@ -63,16 +67,29 @@ def cmd_sort(args: argparse.Namespace) -> int:
     comes from the engine's own cost model (one dispatch per GPU), so the
     CLI agrees with the telemetry every other surface reports.
     """
-    from repro.stream.gpu_model import GEFORCE_6800_ULTRA, GEFORCE_7800_GTX
+    from repro.stream.gpu_model import (
+        AGP_SYSTEM,
+        GEFORCE_6800_ULTRA,
+        GEFORCE_7800_GTX,
+    )
 
     keys = generate_keys(args.dist, args.n, seed=args.seed)
     engine = _engine_for_sort_args(args)
+    # The 6800 leg pairs the GPU with its Table-2 AGP host (as `plan` and
+    # `cluster` do), so a planned dispatch here matches `plan --gpu 6800`.
     result = repro.sort(
-        repro.SortRequest(keys=keys, gpu=GEFORCE_6800_ULTRA), engine=engine
+        repro.SortRequest(keys=keys, gpu=GEFORCE_6800_ULTRA, host=AGP_SYSTEM),
+        engine=engine,
     )
     t = result.telemetry
     print(f"sorted {args.n} pairs ({args.dist}, seed {args.seed}) with "
           f"engine {engine!r}; first keys: {result.keys[:4]}")
+    if result.plan is not None:
+        served = result.engine + (
+            f" on {result.plan.devices} devices" if result.plan.devices else ""
+        )
+        print(f"planner pick: {served} "
+              f"(predicted {result.plan.cost_ms:.3f} ms; see `plan`)")
     print(f"stream ops: {t.stream_ops}  kernel instances: "
           f"{t.kernel_instances}  bytes moved: {t.bytes_moved / 1e6:.1f} MB")
     if result.machine is not None:
@@ -159,6 +176,47 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    """``plan``: explain the planner's decision without sorting.
+
+    Builds the same request ``sort --engine auto`` would serve, plans it,
+    and prints every scored candidate with its predicted cost breakdown,
+    the winner starred.  ``--batch`` additionally plans a batch of that
+    many identical-shape requests (cluster size + LPT placement).
+    """
+    from repro.planner import Planner
+    from repro.stream.gpu_model import (
+        AGP_SYSTEM,
+        GEFORCE_6800_ULTRA,
+        GEFORCE_7800_GTX,
+        PCIE_SYSTEM,
+    )
+
+    if args.gpu == "6800":
+        gpu, host = GEFORCE_6800_ULTRA, AGP_SYSTEM
+    else:
+        gpu, host = GEFORCE_7800_GTX, PCIE_SYSTEM
+    keys = generate_keys(args.dist, args.n, seed=args.seed)
+    request = repro.SortRequest(
+        keys=keys, gpu=gpu, host=host, devices=args.devices
+    )
+    planner = Planner(max_devices=args.max_devices)
+    print(planner.plan(request).explain())
+    if args.batch > 1:
+        batch = planner.plan_batch([request] * args.batch)
+        per_device: dict[int, int] = {}
+        for device in batch.assignment:
+            per_device[device] = per_device.get(device, 0) + 1
+        placement = ", ".join(
+            f"dev{d}: {count} req" for d, count in sorted(per_device.items())
+        )
+        print(
+            f"batch of {args.batch}: {batch.devices} devices ({placement}), "
+            f"predicted makespan {batch.predicted_makespan_ms:.3f} ms"
+        )
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """``figures``: print the regenerated paper figures."""
     which = args.which
@@ -231,8 +289,6 @@ def cmd_ops(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     """A quick reproduction checklist across the paper's claims."""
-    import math
-
     from repro.analysis.complexity import (
         abisort_comparison_count,
         comparisons_upper_bound,
@@ -357,6 +413,27 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="list registered sort engines and capabilities"
     )
     p_back.set_defaults(func=cmd_backends)
+
+    p_plan = sub.add_parser(
+        "plan", help="explain the planner's engine/device choice"
+    )
+    p_plan.add_argument("--n", type=int, default=1 << 14)
+    p_plan.add_argument("--dist", choices=sorted(DISTRIBUTIONS),
+                        default="uniform")
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument("--gpu", choices=("6800", "7800"), default="7800",
+                        help="hardware model: Table-2 6800/AGP or "
+                             "Table-3 7800/PCIe (default)")
+    p_plan.add_argument("--devices", type=int, default=None,
+                        help="pin the device count instead of letting the "
+                             "planner choose")
+    p_plan.add_argument("--max-devices", type=int, default=4,
+                        help="largest cluster the planner may pick "
+                             "(default 4)")
+    p_plan.add_argument("--batch", type=int, default=1,
+                        help="also plan a batch of this many requests "
+                             "(cluster size + LPT placement)")
+    p_plan.set_defaults(func=cmd_plan)
 
     p_clu = sub.add_parser(
         "cluster", help="sharded sort across N modeled devices"

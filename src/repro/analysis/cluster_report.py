@@ -35,7 +35,7 @@ def format_cluster_schedule(schedule: ClusterSchedule, title: str = "") -> str:
             f"{t.stage_ms('sort'):>7.2f}ms  {t.stage_ms('download'):>7.2f}ms  "
             f"{t.span_ms:>7.2f}ms  {t.bubble_ms:>6.2f}ms"
         )
-    serial_ms = sum(e.duration_ms for e in schedule.events)
+    serial_ms = schedule.serialized_ms
     lines.append(
         f"  transfers {schedule.transfer_bytes / 1e6:.2f} MB over the links; "
         f"overlap {'on' if schedule.overlap else 'off'}"

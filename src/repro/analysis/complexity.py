@@ -36,6 +36,8 @@ __all__ = [
     "parallel_time_model",
     "max_processors",
     "speedup_vs_network",
+    "loser_tree_merge_comparisons",
+    "library_sort_comparisons",
 ]
 
 
@@ -140,3 +142,33 @@ def max_processors(n: int, multi_block_substreams: bool = True) -> int:
 def speedup_vs_network(n: int) -> float:
     """Asymptotic work advantage over sorting networks: log2 n."""
     return math.log2(n)
+
+
+def loser_tree_merge_comparisons(n: int, k: int) -> int:
+    """Exact comparisons of a :class:`repro.hybrid.external.LoserTree`
+    k-way merge emitting ``n`` elements.
+
+    The tree rounds ``k`` up to a power of two ``K``; building plays
+    ``K - 1`` matches and every emitted element replays one leaf-to-root
+    path of exactly ``log2 K`` comparisons.  Used as a cost primitive by
+    the planner's sharded and out-of-core models -- the merge stage is
+    data independent in *count* (only in which run wins each match does
+    the data matter).
+    """
+    if k < 2 or n <= 0:
+        return 0
+    big_k = 1 << max(1, (k - 1).bit_length())
+    return (big_k - 1) + n * (big_k.bit_length() - 1)
+
+
+def library_sort_comparisons(n: int) -> int:
+    """The ``n log2 n`` comparison model for a host library merge sort.
+
+    The modeled operation count of the ``cpu-std`` oracle engine (and its
+    cost model): a tuned library sort performs ~``n log2 n`` comparisons.
+    Exact by convention -- engine telemetry and cost model both call this,
+    so prediction matches measurement bit-for-bit.
+    """
+    if n < 2:
+        return 0
+    return int(n * math.log2(n))

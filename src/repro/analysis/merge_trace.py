@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core import kernels, layout
+from repro.core import layout
 from repro.core.abisort import GPUABiSorter
 from repro.core.values import make_values
 from repro.errors import SortInputError

@@ -21,7 +21,6 @@ claims become checkable statements:
 
 from __future__ import annotations
 
-import math
 
 from repro.errors import ModelError
 from repro.core.bitonic_tree import is_power_of_two

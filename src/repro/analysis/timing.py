@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.baselines.bitonic_network import gpusort_stream
 from repro.baselines.cpu_sort import CPUSortCounters, quicksort

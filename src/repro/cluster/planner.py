@@ -1,7 +1,12 @@
 """Shard planning: split one sort into per-device pipeline slices.
 
 The planner turns "sort n pairs on d devices" into contiguous input
-partitions.  Two levels of splitting:
+partitions.  The device count ``d`` itself is a *policy* input: callers
+may fix it (``repro.sort(..., devices=N)``), or let the cost-model
+planner of :mod:`repro.planner` choose it -- the sharded engine's cost
+model runs this very planner over candidate device counts, prices each
+shard with the calibrated ABiSort cost curve, and hands the winning
+count back through ``SortRequest.devices``.  Two levels of splitting:
 
 * **partition** -- each device receives one contiguous range of the input
   (balanced to within one element);
@@ -53,6 +58,12 @@ class ShardPlan:
     def for_device(self, device: int) -> tuple[Shard, ...]:
         """The shards assigned to ``device``, in pipeline order."""
         return tuple(s for s in self.shards if s.device == device)
+
+    def lengths(self) -> tuple[int, ...]:
+        """Shard lengths in shard order -- what cost models price (the
+        sharded cost model pads each to its power of two, exactly as the
+        executor does)."""
+        return tuple(len(s) for s in self.shards)
 
     @property
     def used_devices(self) -> int:

@@ -142,6 +142,21 @@ class ClusterSchedule:
         """Device index -> active span, for reports."""
         return {d: t.span_ms for d, t in sorted(self.timelines.items())}
 
+    @property
+    def transfer_ms(self) -> float:
+        """Total modeled time spent on the links (uploads + downloads)."""
+        return sum(
+            e.duration_ms
+            for e in self.events
+            if e.stage in ("upload", "download")
+        )
+
+    @property
+    def serialized_ms(self) -> float:
+        """Sum of every stage duration -- the no-overlap, no-parallelism
+        yardstick reports and speedup figures compare the makespan to."""
+        return sum(e.duration_ms for e in self.events)
+
 
 class Scheduler:
     """Schedule pipeline tasks over a device list, FIFO per resource."""
@@ -217,10 +232,28 @@ class Scheduler:
     def assign_round_robin(self, count: int) -> list[int]:
         """Device indices for ``count`` independent tasks, round-robin.
 
-        The batch fast path uses this: homogeneous devices make earliest-
-        finish-time assignment equivalent to round-robin for equal-size
-        requests, and round-robin keeps the placement deterministic for
-        mixed sizes too.
+        The right placement for *equal-size* tasks on homogeneous devices
+        (where it coincides with earliest-finish-time); for mixed sizes
+        prefer :meth:`assign_lpt`, which round-robin can serialize badly
+        (one huge request plus small ones all landing on device 0).
         """
         order = [d.index for d in self.devices]
         return [order[i % len(order)] for i in range(count)]
+
+    def assign_lpt(self, weights: list[float]) -> list[int]:
+        """Longest-processing-time placement of ``count`` weighted tasks.
+
+        The classic 4/3-approximation for makespan on identical machines:
+        visit tasks in decreasing weight and put each on the currently
+        least-loaded device.  Deterministic: weight ties keep input order,
+        load ties pick the lowest device index.  Returns the device index
+        per task, in input order.
+        """
+        order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+        loads = {d.index: 0.0 for d in self.devices}
+        assignment = [0] * len(weights)
+        for i in order:
+            device = min(loads, key=lambda d: (loads[d], d))
+            assignment[i] = device
+            loads[device] += weights[i]
+        return assignment

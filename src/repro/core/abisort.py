@@ -38,7 +38,7 @@ The data flow per recursion level ``j`` (Listing 5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -4,9 +4,15 @@
     New code should use the unified engine API -- :func:`repro.sort` with a
     :class:`repro.SortRequest`, or :func:`repro.engines.get` -- which
     serves *every* backend (ABiSort variants, the baselines, the
-    out-of-core sorter) and returns structured telemetry.  The functions
-    here remain supported as convenience shims for the common ABiSort-only
-    cases and are what the engine adapters themselves are built from.
+    out-of-core sorter) and returns structured telemetry.  With no engine
+    argument, :func:`repro.sort` now routes through the cost-model planner
+    (``engine="auto"``, :mod:`repro.planner`), which picks the cheapest
+    capability-feasible backend and device count per request shape --
+    calling these shims opts out of that selection (they always run
+    GPU-ABiSort) as well as of capability checks and telemetry.  The
+    functions remain supported as convenience shims for the common
+    ABiSort-only cases and are what the engine adapters themselves are
+    built from.
 
 :func:`abisort` sorts a ``VALUE_DTYPE`` array; :func:`sort_key_value`
 sorts plain key/id arrays.  Both accept an :class:`ABiSortConfig`

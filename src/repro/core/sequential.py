@@ -27,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-import numpy as np
 
 from repro.errors import SortInputError
 from repro.core.bitonic_tree import is_power_of_two

@@ -6,12 +6,18 @@ benchmarks, examples) goes through:
 * :mod:`repro.engines.base` -- the :class:`SortEngine` protocol,
   :class:`SortRequest` / :class:`SortResult` / :class:`SortTelemetry`, and
   the per-engine :class:`EngineCapabilities` flags;
+* :mod:`repro.engines.cost` -- the :class:`CostModel` protocol engines
+  expose so the planner can price a request without serving it;
 * :mod:`repro.engines.registry` -- the pluggable backend registry
-  (:func:`register` / :func:`get` / :func:`available`);
-* :mod:`repro.engines.adapters` -- the thirteen built-in backends
-  (GPU-ABiSort variants, the multi-device sharded engine, the Section-2.2
-  baselines, the CPU sorts, and the out-of-core pipeline), registered on
-  import.
+  (:func:`register` / :func:`get` / :func:`available` /
+  :func:`cost_model`);
+* :mod:`repro.engines.adapters` -- the thirteen concrete built-in
+  backends (GPU-ABiSort variants, the multi-device sharded engine, the
+  Section-2.2 baselines, the CPU sorts, and the out-of-core pipeline),
+  registered on import;
+* :mod:`repro.engines.auto` -- the ``auto`` front end (fourteenth
+  backend, the default): the cost-model planner of :mod:`repro.planner`
+  as an engine, turning every dispatch into **plan -> execute**.
 
 Quick use::
 
@@ -20,7 +26,9 @@ Quick use::
 
     req = repro.SortRequest(keys=np.random.default_rng(0).random(1000,
                                                                 dtype=np.float32))
-    res = repro.sort(req)                       # default engine: "abisort"
+    res = repro.sort(req)                   # planned dispatch (engine="auto")
+    res.engine, res.plan                    # who served it, and why
+    res = repro.sort(req, engine="abisort")      # explicit dispatch
     res = repro.sort(req, engine="bitonic-network")  # CapabilityError: n=1000
     batch = repro.sort_batch([req] * 4, engine="abisort")
     print(batch.telemetry.summary())
@@ -42,17 +50,32 @@ from repro.engines.base import (
     SortResult,
     SortTelemetry,
 )
+from repro.engines.cost import (
+    CostEstimate,
+    CostModel,
+    RequestShape,
+    measured_cost_ms,
+    request_shape,
+)
 from repro.engines.registry import (
     DEFAULT_ENGINE,
     available,
     capabilities,
+    cost_model,
     get,
     register,
     unregister,
 )
 from repro.engines.adapters import register_builtin_engines
+from repro.engines.auto import AutoEngine
+from repro.engines.telemetry import (
+    aggregate_telemetry,
+    fill_schedule_telemetry,
+)
 
 register_builtin_engines()
+if "auto" not in available():
+    register("auto", AutoEngine)
 
 __all__ = [
     "SortEngine",
@@ -65,6 +88,12 @@ __all__ = [
     "CapabilityError",
     "EngineError",
     "DEFAULT_ENGINE",
+    "CostModel",
+    "CostEstimate",
+    "RequestShape",
+    "request_shape",
+    "measured_cost_ms",
+    "cost_model",
     "register",
     "unregister",
     "get",
@@ -95,9 +124,13 @@ def sort(request, engine: str | None = None, devices: int | None = None) -> Sort
 
     ``request`` is a :class:`SortRequest` (or, for convenience, a bare
     array: ``VALUE_DTYPE`` arrays sort as values, anything else as plain
-    keys).  ``engine`` names a registered backend; the default is
-    :data:`DEFAULT_ENGINE`.  ``devices`` overrides the request's device
-    count for cluster-aware engines, e.g.
+    keys).  ``engine`` names a registered backend; with no engine (or
+    ``engine="auto"``) the request routes through the cost-model planner,
+    which picks the cheapest capability-feasible backend and device count
+    (the decision comes back as :attr:`SortResult.plan`).  Naming an
+    engine takes the direct dispatch path -- bit-identical to what it
+    always did.  ``devices`` overrides the request's device count for
+    cluster-aware engines, e.g.
     ``repro.sort(values, engine="sharded-abisort", devices=4)``.
     """
     req = _as_request(request)
@@ -109,36 +142,45 @@ def sort(request, engine: str | None = None, devices: int | None = None) -> Sort
 
 
 def sort_batch(
-    requests, engine: str | None = None, devices: int | None = None
+    requests, engine: str | None = None, devices: int | str | None = None
 ) -> BatchResult:
     """Serve a sequence of requests on one shared engine.
 
     The engine instance is constructed once and reused for every request --
     layout plans, kernel closures, and any mapping caches warm up on the
-    first sort and are shared by the rest of the batch.  Returns a
+    first sort and are shared by the rest of the batch (with the default
+    ``engine="auto"`` this holds per *planned* backend).  Returns a
     :class:`BatchResult` with the per-request results plus one aggregate
     :class:`SortTelemetry` summed over the batch (``telemetry.requests``
     counts the batch size).
 
     With ``devices=N`` (N > 1) the batch takes the **cluster fast path**:
-    independent requests are assigned round-robin to N modeled devices (one
-    engine instance per device), and the event-driven scheduler of
+    independent requests are placed on N modeled devices by size-aware LPT
+    (longest processing time first, so one huge request no longer
+    serializes the batch), and the event-driven scheduler of
     :mod:`repro.cluster.scheduler` overlaps each request's upload, sort,
-    and download across the per-device transfer links.  The per-request
-    results are identical to the sequential path; the aggregate telemetry's
-    ``modeled_makespan_ms`` / ``pipeline_bubble_ms`` / ``transfer_bytes``
-    describe the concurrent schedule, and the schedule itself is attached
-    as :attr:`BatchResult.schedule`.
+    and download across the per-device transfer links.
+    ``devices="auto"`` asks the planner for the cluster size too: the
+    smallest device count whose predicted LPT makespan is within tolerance
+    of the best (see :meth:`repro.planner.Planner.plan_batch`).  The
+    per-request results are identical to the sequential path; the
+    aggregate telemetry's ``modeled_makespan_ms`` / ``pipeline_bubble_ms``
+    / ``transfer_bytes`` describe the concurrent schedule, and the
+    schedule itself is attached as :attr:`BatchResult.schedule`.
     """
     requests = [_as_request(r) for r in requests]
+    if devices == "auto":
+        if requests:
+            from repro.planner.planner import default_planner
+
+            devices = default_planner().plan_batch(requests).devices
+        else:
+            devices = None
     if devices is not None and devices > 1 and requests:
         return _sort_batch_cluster(requests, engine, devices)
     eng = get(engine)
     results = [eng.sort(r) for r in requests]
-    total = SortTelemetry(requests=0)
-    for res in results:
-        total.add(res.telemetry)
-    return BatchResult(results=results, telemetry=total)
+    return BatchResult(results=results, telemetry=aggregate_telemetry(results))
 
 
 def _sort_batch_cluster(
@@ -147,9 +189,10 @@ def _sort_batch_cluster(
     """The ``sort_batch`` fast path: requests scheduled across devices.
 
     The device models (GPU + host/link) come from the first request -- a
-    cluster is physical hardware, not a per-request property.  Each device
-    gets its own engine instance, mirroring the single-engine reuse of the
-    sequential path on a per-device basis.
+    cluster is physical hardware, not a per-request property.  All
+    requests run through one shared engine instance (the same warm-cache
+    reuse as the sequential path); the modeled schedule then places each
+    request's upload/sort/download on its LPT-assigned device.
     """
     from repro.cluster.device import make_devices
     from repro.cluster.scheduler import PipelineTask, Scheduler
@@ -157,15 +200,13 @@ def _sort_batch_cluster(
     cluster = make_devices(
         devices, gpu=requests[0].gpu, host=requests[0].host
     )
-    engines_by_device = {d.index: get(engine) for d in cluster}
-    scheduler = Scheduler(cluster, overlap=True)
-    assignment = scheduler.assign_round_robin(len(requests))
+    link = cluster[0].link
+    eng = get(engine)
+    results = [eng.sort(r) for r in requests]
 
-    results: list[SortResult] = []
-    tasks: list[PipelineTask] = []
-    for i, (req, dev) in enumerate(zip(requests, assignment)):
-        res = engines_by_device[dev].sort(req)
-        results.append(res)
+    stage_specs: list[tuple[int, float]] = []
+    weights: list[float] = []
+    for res in results:
         # Stream-machine engines pay the bus round trip; host-side engines
         # (cpu-*, external) have nothing to upload to a device.
         on_device = res.machine is not None or res.cluster is not None
@@ -175,25 +216,28 @@ def _sort_batch_cluster(
             if on_device
             else res.telemetry.modeled_total_ms
         )
-        tasks.append(
-            PipelineTask(
-                label=f"req{i}",
-                device=dev,
-                upload_bytes=nbytes,
-                sort_ms=sort_ms,
-                download_bytes=nbytes,
-            )
+        stage_specs.append((nbytes, sort_ms))
+        weights.append(
+            link.upload_ms(nbytes) + sort_ms + link.download_ms(nbytes)
         )
+
+    scheduler = Scheduler(cluster, overlap=True)
+    assignment = scheduler.assign_lpt(weights)
+    # Tasks enter each device's FIFO pipeline in LPT service order
+    # (heaviest first), matching the placement's load accounting.
+    order = sorted(range(len(requests)), key=lambda i: (-weights[i], i))
+    tasks = [
+        PipelineTask(
+            label=f"req{i}",
+            device=assignment[i],
+            upload_bytes=stage_specs[i][0],
+            sort_ms=stage_specs[i][1],
+            download_bytes=stage_specs[i][0],
+        )
+        for i in order
+    ]
     schedule = scheduler.run(tasks)
 
-    total = SortTelemetry(requests=0)
-    for res in results:
-        total.add(res.telemetry)
-    total.devices = len(cluster)
-    total.transfer_bytes = schedule.transfer_bytes
-    total.modeled_transfer_ms = sum(
-        e.duration_ms for e in schedule.events if e.stage in ("upload", "download")
-    )
-    total.modeled_makespan_ms = schedule.makespan_ms
-    total.pipeline_bubble_ms = schedule.bubble_ms
+    total = aggregate_telemetry(results)
+    fill_schedule_telemetry(total, schedule, devices=len(cluster))
     return BatchResult(results=results, telemetry=total, schedule=schedule)

@@ -39,7 +39,6 @@ seek + bandwidth model.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.engines.base import (
     EngineCapabilities,
@@ -48,6 +47,7 @@ from repro.engines.base import (
     SortTelemetry,
 )
 from repro.engines.registry import register
+from repro.engines.telemetry import add_machine_counters, fill_schedule_telemetry
 from repro.baselines.bitonic_network import gpusort_stream
 from repro.baselines.cpu_sort import CPUSortCounters, quicksort, std_sort
 from repro.baselines.odd_even_merge import odd_even_merge_stream
@@ -187,26 +187,14 @@ class ShardedABiSortEngine(SortEngine):
 
         telemetry = SortTelemetry(
             cpu_ops=res.merge_comparisons,
-            devices=res.plan.used_devices,
-            transfer_bytes=res.schedule.transfer_bytes,
             modeled_gpu_ms=sum(res.shard_sort_ms),
             modeled_cpu_ms=res.merge_modeled_ms,
-            modeled_makespan_ms=res.schedule.makespan_ms,
-            pipeline_bubble_ms=res.schedule.bubble_ms,
-            modeled_transfer_ms=sum(
-                e.duration_ms
-                for e in res.schedule.events
-                if e.stage in ("upload", "download")
-            ),
+        )
+        fill_schedule_telemetry(
+            telemetry, res.schedule, devices=res.plan.used_devices
         )
         for device in devices:
-            counters = device.counters()
-            telemetry.stream_ops += counters.stream_ops
-            telemetry.kernel_ops += counters.kernel_ops
-            telemetry.copy_ops += counters.copy_ops
-            telemetry.kernel_instances += counters.instances
-            telemetry.bytes_moved += counters.total_bytes
-            telemetry.gather_bytes += counters.gather_bytes
+            add_machine_counters(telemetry, device.counters())
         return res.values, telemetry, None, res
 
 
@@ -273,14 +261,29 @@ class QuicksortEngine(SortEngine):
 
 
 class StdSortEngine(SortEngine):
-    """The host library sort (NumPy lexsort) -- the correctness oracle."""
+    """The host library sort (NumPy lexsort) -- the correctness oracle.
+
+    Its modeled cost follows the ``n log2 n`` library-sort comparison
+    convention (:func:`repro.analysis.complexity.library_sort_comparisons`)
+    so the oracle competes fairly in planner scoring instead of reporting
+    an impossible zero-cost sort.
+    """
 
     name = "cpu-std"
     description = "host library sort (NumPy lexsort reference)"
     capabilities = EngineCapabilities(any_length=True, key_value=True, stable=True)
 
     def _run(self, values, request):
-        return std_sort(values), SortTelemetry(), None
+        from repro.analysis.complexity import library_sort_comparisons
+
+        telemetry = SortTelemetry(
+            cpu_ops=library_sort_comparisons(values.shape[0])
+        )
+        if request.model_time:
+            telemetry.modeled_cpu_ms = cpu_sort_time_ms(
+                telemetry.cpu_ops, request.host
+            )
+        return std_sort(values), telemetry, None
 
 
 class ExternalSortEngine(SortEngine):

@@ -250,7 +250,10 @@ class SortResult:
     cluster engine runs on *several* machines and leaves ``machine`` None
     too -- it instead attaches the full
     :class:`repro.cluster.sharded.ShardedSortResult` (shard plan, pipeline
-    schedule, per-device logs) as ``cluster``.
+    schedule, per-device logs) as ``cluster``.  Requests dispatched by the
+    planner (``engine="auto"``) carry the winning
+    :class:`repro.planner.SortPlan` as ``plan``; ``engine`` then names the
+    backend that actually served the request.
     """
 
     values: np.ndarray
@@ -258,6 +261,7 @@ class SortResult:
     telemetry: SortTelemetry
     machine: StreamMachine | None = None
     cluster: object | None = None
+    plan: object | None = None
 
     def __len__(self) -> int:
         return self.values.shape[0]
@@ -311,11 +315,21 @@ class SortEngine(ABC):
     Engine instances are reusable and hold no per-request state beyond
     caches; :func:`repro.sort_batch` relies on this, constructing each
     engine once and running the whole batch through it.
+
+    Engines may additionally expose a :class:`repro.engines.cost.CostModel`
+    via :attr:`cost_model` -- a predictor of the modeled cost the engine's
+    telemetry would report for a request shape.  The planner
+    (:mod:`repro.planner`) only considers engines with one; the built-in
+    backends get theirs from :mod:`repro.planner.models` (see
+    :func:`repro.engines.registry.cost_model` for the resolution order).
     """
 
     name: str = ""
     description: str = ""
     capabilities: EngineCapabilities = EngineCapabilities()
+    #: Optional cost-model hook (see class docstring); ``None`` defers to
+    #: the built-in table, engines known to neither are unplannable.
+    cost_model: "object | None" = None
 
     def sort(self, request: SortRequest) -> SortResult:
         """Serve ``request``, returning the sorted output plus telemetry."""

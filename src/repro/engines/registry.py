@@ -27,8 +27,17 @@ from typing import Callable, Iterable
 
 from repro.errors import EngineError
 from repro.engines.base import EngineCapabilities, SortEngine
+from repro.engines.cost import CostModel
 
-__all__ = ["register", "unregister", "get", "available", "capabilities"]
+__all__ = [
+    "register",
+    "unregister",
+    "get",
+    "available",
+    "capabilities",
+    "cost_model",
+    "generation",
+]
 
 _REGISTRY: dict[str, Callable[[], SortEngine]] = {}
 
@@ -37,9 +46,18 @@ _REGISTRY: dict[str, Callable[[], SortEngine]] = {}
 #: never construct engines beyond the first lookup per name.
 _CAPABILITIES: dict[str, EngineCapabilities] = {}
 
-#: The engine used when a request names none (the paper's benchmarked
-#: configuration: overlapped schedule + Section-7 optimizations).
-DEFAULT_ENGINE = "abisort"
+#: Cost models by engine name, filled lazily (building one may trigger
+#: calibration probes; see :func:`cost_model`).
+_COST_MODELS: dict[str, CostModel | None] = {}
+
+#: Bumped on every register/unregister; plan caches compare it to detect a
+#: changed engine population (see :class:`repro.planner.planner.PlanCache`).
+_GENERATION = 0
+
+#: The engine used when a request names none: the cost-model planner of
+#: :mod:`repro.planner`, which scores every capability-feasible backend
+#: and dispatches to the cheapest (``repro.sort(request)`` == auto).
+DEFAULT_ENGINE = "auto"
 
 
 def register(
@@ -58,6 +76,7 @@ def register(
         raise EngineError(f"engine name must be a non-empty string, got {name!r}")
 
     def _do_register(f: Callable[[], SortEngine]):
+        global _GENERATION
         if not callable(f):
             raise EngineError(f"engine factory for {name!r} is not callable")
         if name in _REGISTRY and not replace:
@@ -67,6 +86,9 @@ def register(
             )
         _REGISTRY[name] = f
         _CAPABILITIES.pop(name, None)
+        _COST_MODELS.pop(name, None)
+        _evict_calibrations(name)
+        _GENERATION += 1
         return f
 
     if factory is None:
@@ -74,12 +96,30 @@ def register(
     return _do_register(factory)
 
 
+def _evict_calibrations(name: str) -> None:
+    """Drop any probe-calibrated cost curves measured from ``name``.
+
+    Goes through ``sys.modules`` so the registry never imports the
+    planner package eagerly: if calibration was never loaded, there is
+    nothing to evict.
+    """
+    import sys
+
+    calibration = sys.modules.get("repro.planner.calibration")
+    if calibration is not None:
+        calibration.evict_engine(name)
+
+
 def unregister(name: str) -> None:
     """Remove ``name`` from the registry (for tests and plugins)."""
+    global _GENERATION
     if name not in _REGISTRY:
         raise EngineError(f"engine {name!r} is not registered")
     del _REGISTRY[name]
     _CAPABILITIES.pop(name, None)
+    _COST_MODELS.pop(name, None)
+    _evict_calibrations(name)
+    _GENERATION += 1
 
 
 def get(name: str | None = None) -> SortEngine:
@@ -120,3 +160,35 @@ def capabilities(name: str) -> EngineCapabilities:
     if name not in _CAPABILITIES:
         _CAPABILITIES[name] = get(name).capabilities
     return _CAPABILITIES[name]
+
+
+def cost_model(name: str) -> CostModel | None:
+    """The cost model of the engine registered under ``name``, or ``None``.
+
+    Resolution order: an engine instance's own :attr:`SortEngine.cost_model`
+    hook (the plugin path: a registered engine class simply sets the
+    attribute), then the built-in model table of
+    :mod:`repro.planner.models`.  Engines with neither are invisible to
+    the planner but remain dispatchable by explicit name.  The result is
+    cached per name; building a model is cheap (calibration probes run
+    lazily at first estimate, not here).
+    """
+    if name not in _COST_MODELS:
+        engine = get(name)
+        model = engine.cost_model
+        if model is None:
+            # Late import: repro.planner imports this module.
+            from repro.planner.models import builtin_cost_model
+
+            model = builtin_cost_model(name, engine)
+        _COST_MODELS[name] = model
+    return _COST_MODELS[name]
+
+
+def generation() -> int:
+    """A token that changes whenever the registry population changes.
+
+    Plan caches store the generation they were filled under and drop
+    entries computed against a different engine population.
+    """
+    return _GENERATION

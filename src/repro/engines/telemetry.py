@@ -1,0 +1,56 @@
+"""Shared telemetry aggregation helpers.
+
+One place for the summing that used to be duplicated between the
+``sort_batch`` cluster fast path (:mod:`repro.engines`), the sharded
+engine adapter (:mod:`repro.engines.adapters`), and the cluster report
+(:mod:`repro.analysis.cluster_report`): batch aggregation over per-request
+results, folding a pipeline schedule's aggregates into a telemetry record,
+and accumulating stream-machine counters.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import SortResult, SortTelemetry
+
+__all__ = [
+    "aggregate_telemetry",
+    "fill_schedule_telemetry",
+    "add_machine_counters",
+]
+
+
+def aggregate_telemetry(results: "list[SortResult]") -> SortTelemetry:
+    """One telemetry record summed over per-request results (the batch
+    aggregate: ``requests`` counts the batch size)."""
+    total = SortTelemetry(requests=0)
+    for result in results:
+        total.add(result.telemetry)
+    return total
+
+
+def fill_schedule_telemetry(
+    telemetry: SortTelemetry, schedule, devices: int
+) -> None:
+    """Overwrite ``telemetry``'s multi-device fields from a
+    :class:`~repro.cluster.scheduler.ClusterSchedule`.
+
+    Summed per-request values are replaced by the overlapped schedule's
+    aggregates: its makespan, bubble time, link traffic, and the device
+    count that served it.
+    """
+    telemetry.devices = devices
+    telemetry.transfer_bytes = schedule.transfer_bytes
+    telemetry.modeled_transfer_ms = schedule.transfer_ms
+    telemetry.modeled_makespan_ms = schedule.makespan_ms
+    telemetry.pipeline_bubble_ms = schedule.bubble_ms
+
+
+def add_machine_counters(telemetry: SortTelemetry, counters) -> None:
+    """Accumulate one :class:`~repro.stream.context.MachineCounters`
+    record (a stream machine's or a device's op-log totals)."""
+    telemetry.stream_ops += counters.stream_ops
+    telemetry.kernel_ops += counters.kernel_ops
+    telemetry.copy_ops += counters.copy_ops
+    telemetry.kernel_instances += counters.instances
+    telemetry.bytes_moved += counters.total_bytes
+    telemetry.gather_bytes += counters.gather_bytes

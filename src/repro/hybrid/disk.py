@@ -11,7 +11,7 @@ doing the sorting, I/O dominates).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

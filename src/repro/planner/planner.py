@@ -1,0 +1,316 @@
+"""The cost-model planner: enumerate, score, pick, cache.
+
+The plan half of the plan -> execute pipeline.  :meth:`Planner.plan` turns
+one :class:`~repro.engines.base.SortRequest` into a :class:`SortPlan`:
+
+1. **enumerate** -- every registered engine that is capability-feasible
+   for the request (declares the required flags; accepts the length), has
+   a cost model, and is not the planner's own ``auto`` front end;
+2. **score** -- each candidate's :class:`~repro.engines.cost.CostEstimate`
+   from its cost model, cluster-aware engines once per device count in
+   ``1..max_devices``;
+3. **pick** -- the cheapest :attr:`~repro.engines.cost.CostEstimate.cost_ms`
+   (ties break to the lexically first engine name, then the smaller
+   device count: deterministic plans);
+4. **cache** -- plans are memoised per :class:`RequestShape` in an LRU
+   (the :mod:`repro.stream.cache` idiom), invalidated wholesale whenever
+   the engine registry's population changes.
+
+:meth:`Planner.plan_batch` extends the pick to a whole batch: per-request
+plans supply the task weights, LPT placement
+(:meth:`~repro.cluster.scheduler.Scheduler.assign_lpt`) balances them
+across device counts, and the smallest cluster within
+:data:`BATCH_TOLERANCE` of the best predicted makespan wins -- more
+devices are never free in a real deployment, so the planner does not burn
+them for thin gains.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.engines import registry
+from repro.engines.base import SortRequest
+from repro.engines.cost import CostEstimate, RequestShape, request_shape
+from repro.errors import EngineError
+
+__all__ = [
+    "PlanCandidate",
+    "SortPlan",
+    "BatchPlan",
+    "PlanCache",
+    "Planner",
+]
+
+#: A larger cluster must beat a smaller one by more than this relative
+#: margin of predicted batch makespan to be worth its devices.
+BATCH_TOLERANCE = 0.02
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One scored (engine, devices) alternative."""
+
+    engine: str
+    devices: int | None
+    estimate: CostEstimate
+
+    @property
+    def cost_ms(self) -> float:
+        return self.estimate.cost_ms
+
+
+@dataclass(frozen=True)
+class SortPlan:
+    """The planner's decision for one request shape.
+
+    ``engine`` / ``devices`` are what :func:`repro.sort` executes;
+    ``estimate`` is the winning prediction; ``candidates`` keeps every
+    scored alternative (cheapest first) so a decision can be explained
+    after the fact.
+    """
+
+    shape: RequestShape
+    engine: str
+    devices: int | None
+    estimate: CostEstimate
+    candidates: tuple[PlanCandidate, ...]
+
+    @property
+    def cost_ms(self) -> float:
+        return self.estimate.cost_ms
+
+    def explain(self) -> str:
+        """A human-readable account of the decision: the request shape,
+        then every candidate's predicted cost breakdown, winner starred."""
+        lines = [f"plan for {self.shape.describe()}:"]
+        width = max((len(c.engine) for c in self.candidates), default=10) + 3
+        lines.append(
+            f"  {'engine':<{width}} {'devices':>7}  {'predicted':>11}  "
+            f"{'gpu':>9}  {'cpu':>9}  {'i/o':>9}  {'bus':>9}"
+        )
+        for cand in self.candidates:
+            e = cand.estimate
+            starred = cand.engine + (
+                "*"
+                if cand.engine == self.engine and cand.devices == self.devices
+                else ""
+            )
+            lines.append(
+                f"  {starred:<{width}} {cand.devices or 1:>7}  "
+                f"{cand.cost_ms:>9.3f}ms  {e.modeled_gpu_ms:>7.3f}ms  "
+                f"{e.modeled_cpu_ms:>7.3f}ms  {e.modeled_io_ms:>7.3f}ms  "
+                f"{e.modeled_transfer_ms:>7.3f}ms"
+            )
+        dev = f" on {self.devices} devices" if self.devices else ""
+        lines.append(
+            f"  -> {self.engine}{dev}, predicted {self.cost_ms:.3f} ms"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The planner's decision for a batch: a cluster size, an LPT device
+    assignment (device index per request, in request order), and the
+    per-request plans whose estimates weighted the placement."""
+
+    devices: int
+    assignment: tuple[int, ...]
+    plans: tuple[SortPlan, ...]
+    predicted_makespan_ms: float
+
+
+class PlanCache:
+    """LRU plan memo keyed by request shape (the ``stream/cache.py``
+    idiom: an :class:`OrderedDict` with move-to-end on hit), invalidated
+    as a whole when the engine registry's generation changes."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise EngineError("plan cache needs capacity >= 1")
+        self.capacity = capacity
+        self._lru: OrderedDict[RequestShape, SortPlan] = OrderedDict()
+        self._generation = registry.generation()
+        self.hits = 0
+        self.misses = 0
+
+    def _validate(self) -> None:
+        generation = registry.generation()
+        if generation != self._generation:
+            self._lru.clear()
+            self._generation = generation
+
+    def get(self, shape: RequestShape) -> SortPlan | None:
+        self._validate()
+        plan = self._lru.get(shape)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._lru.move_to_end(shape)
+        self.hits += 1
+        return plan
+
+    def put(self, shape: RequestShape, plan: SortPlan) -> None:
+        self._validate()
+        self._lru[shape] = plan
+        self._lru.move_to_end(shape)
+        if len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+
+    def clear(self) -> None:
+        self._lru.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+
+class Planner:
+    """Auto engine/device selection over the registry's cost models.
+
+    Parameters
+    ----------
+    max_devices:
+        Largest cluster the planner may pick for cluster-aware engines
+        and batch placement.
+    cache_size:
+        Plan-cache capacity (plans per distinct request shape).
+    """
+
+    def __init__(self, *, max_devices: int = 4, cache_size: int = 256):
+        if max_devices < 1:
+            raise EngineError("planner needs max_devices >= 1")
+        self.max_devices = max_devices
+        self.cache = PlanCache(cache_size)
+
+    # -- single requests -----------------------------------------------------
+
+    def plan(self, request: SortRequest) -> SortPlan:
+        """The cheapest feasible plan for ``request`` (cached by shape)."""
+        shape = request_shape(request)
+        cached = self.cache.get(shape)
+        if cached is not None:
+            return cached
+        candidates = self._score(request, shape)
+        if not candidates:
+            raise EngineError(
+                f"no registered engine with a cost model can serve "
+                f"{shape.describe()}; register one or dispatch by name"
+            )
+        best = min(
+            candidates, key=lambda c: (c.cost_ms, c.engine, c.devices or 0)
+        )
+        plan = SortPlan(
+            shape=shape,
+            engine=best.engine,
+            devices=best.devices,
+            estimate=best.estimate,
+            candidates=tuple(sorted(candidates, key=lambda c: c.cost_ms)),
+        )
+        self.cache.put(shape, plan)
+        return plan
+
+    def _score(
+        self, request: SortRequest, shape: RequestShape
+    ) -> list[PlanCandidate]:
+        """Every feasible (engine, devices) candidate, scored."""
+        candidates: list[PlanCandidate] = []
+        trivial = shape.n <= 1
+        for name in registry.available(require=shape.require):
+            if name == "auto":
+                continue
+            caps = registry.capabilities(name)
+            if (
+                not trivial
+                and not caps.any_length
+                and shape.n & (shape.n - 1)
+            ):
+                continue  # power-of-two engines cannot serve this length
+            model = registry.cost_model(name)
+            if model is None:
+                continue  # unplannable: explicit dispatch only
+            for devices in model.device_counts(
+                request, max_devices=self.max_devices
+            ):
+                if (
+                    devices is not None
+                    and devices > self.max_devices
+                    and devices != request.devices
+                ):
+                    continue  # clamp planner-enumerated counts, never the
+                    # caller's own explicit devices= override
+                estimate = model.estimate(request, devices=devices)
+                candidates.append(PlanCandidate(name, devices, estimate))
+        return candidates
+
+    # -- batches -------------------------------------------------------------
+
+    def plan_batch(
+        self, requests: list[SortRequest], *, max_devices: int | None = None
+    ) -> BatchPlan:
+        """Cluster size + LPT assignment for a batch of requests.
+
+        Each request is planned individually (those plans decide its task
+        weight: its predicted serialized cost); then, for every cluster
+        size up to ``max_devices``, the weights are LPT-placed and the
+        batch makespan approximated by the heaviest device load.  The
+        smallest cluster within :data:`BATCH_TOLERANCE` of the best
+        makespan wins.
+        """
+        from repro.cluster.device import make_devices
+        from repro.cluster.scheduler import Scheduler
+
+        if not requests:
+            raise EngineError("cannot plan an empty batch")
+        limit = min(max_devices or self.max_devices, len(requests))
+        plans = tuple(self.plan(r) for r in requests)
+        weights = [p.cost_ms for p in plans]
+
+        candidates: list[tuple[int, list[int], float]] = []
+        for devices in range(1, max(limit, 1) + 1):
+            scheduler = Scheduler(
+                make_devices(
+                    devices, gpu=requests[0].gpu, host=requests[0].host
+                ),
+                overlap=True,
+            )
+            assignment = scheduler.assign_lpt(weights)
+            loads: dict[int, float] = {}
+            for index, device in enumerate(assignment):
+                loads[device] = loads.get(device, 0.0) + weights[index]
+            candidates.append(
+                (devices, assignment, max(loads.values(), default=0.0))
+            )
+        best_makespan = min(makespan for _d, _a, makespan in candidates)
+        # Smallest cluster within tolerance of the best: candidates are in
+        # increasing device order, so the first qualifying one wins.
+        chosen = next(
+            c
+            for c in candidates
+            if c[2] <= best_makespan * (1 + BATCH_TOLERANCE)
+        )
+        return BatchPlan(
+            devices=chosen[0],
+            assignment=tuple(chosen[1]),
+            plans=plans,
+            predicted_makespan_ms=chosen[2],
+        )
+
+    def explain(self, request: SortRequest) -> str:
+        """:meth:`SortPlan.explain` for ``request``'s plan."""
+        return self.plan(request).explain()
+
+
+#: The process-wide planner ``engine="auto"`` dispatches through.
+_DEFAULT: Planner | None = None
+
+
+def default_planner() -> Planner:
+    """The shared planner instance (created on first use)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Planner()
+    return _DEFAULT

@@ -30,7 +30,7 @@ drivers run with ping-pong/copy-back and pass in GPU mode.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 

@@ -117,6 +117,34 @@ class TestScheduler:
         with pytest.raises(ModelError):
             Scheduler(devices).run(_tasks(5, 1))
 
+    def test_lpt_assignment_balances_mixed_sizes(self):
+        scheduler = Scheduler(make_devices(2))
+        # Round-robin would pair the two heavy tasks on device 0; LPT puts
+        # one heavy task per device and balances the rest by load.
+        assignment = scheduler.assign_lpt([10.0, 1.0, 10.0, 1.0])
+        assert assignment[0] != assignment[2]
+        loads = {0: 0.0, 1: 0.0}
+        for weight, device in zip([10.0, 1.0, 10.0, 1.0], assignment):
+            loads[device] += weight
+        assert loads[0] == loads[1] == 11.0
+
+    def test_lpt_is_deterministic_on_ties(self):
+        scheduler = Scheduler(make_devices(3))
+        assert scheduler.assign_lpt([2.0, 2.0, 2.0]) == [0, 1, 2]
+        assert scheduler.assign_lpt([]) == []
+
+    def test_schedule_transfer_and_serialized_properties(self):
+        devices = make_devices(1)
+        schedule = Scheduler(devices).run(_tasks(0, 2))
+        assert schedule.transfer_ms == pytest.approx(sum(
+            e.duration_ms for e in schedule.events
+            if e.stage in ("upload", "download")
+        ))
+        assert schedule.serialized_ms == pytest.approx(
+            sum(e.duration_ms for e in schedule.events)
+        )
+        assert schedule.serialized_ms > schedule.transfer_ms
+
     def test_round_robin_assignment(self):
         scheduler = Scheduler(make_devices(3))
         assert scheduler.assign_round_robin(7) == [0, 1, 2, 0, 1, 2, 0]

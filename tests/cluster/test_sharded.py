@@ -18,7 +18,6 @@ from repro.cluster import ShardedSorter, make_devices, merge_sorted_runs
 from repro.core.values import reference_sort
 from repro.engines import SortRequest
 from repro.stream.gpu_model import AGP_SYSTEM, GEFORCE_6800_ULTRA
-from repro.workloads.generators import generate_keys
 
 SHARD_COUNTS = (1, 2, 4, 7)
 
@@ -204,12 +203,33 @@ class TestBatchFastPath:
             SortRequest(keys=rng.random(128, dtype=np.float32))
             for _ in range(7)
         ]
-        batch = repro.sort_batch(requests, devices=4)
+        batch = repro.sort_batch(requests, engine="abisort", devices=4)
         t = batch.telemetry
         assert t.pipeline_bubble_ms >= 0.0
         assert t.modeled_makespan_ms <= batch.schedule.total_device_ms + 1e-9
         assert t.transfer_bytes == 2 * 7 * 128 * 8
         assert t.requests == 7
+
+    def test_lpt_placement_isolates_a_huge_request(self, rng):
+        """Size-aware placement: the big request gets its own device while
+        round-robin would have queued small ones behind it."""
+        sizes = (4096, 64, 64, 64, 64, 64)
+        requests = [
+            SortRequest(keys=rng.random(n, dtype=np.float32)) for n in sizes
+        ]
+        batch = repro.sort_batch(requests, engine="abisort", devices=2)
+        by_task = {
+            e.task: e.device for e in batch.schedule.events if e.stage == "sort"
+        }
+        huge_device = by_task["req0"]
+        assert all(
+            device != huge_device
+            for task, device in by_task.items()
+            if task != "req0"
+        )
+        # The per-request outputs are placement independent.
+        for req, res in zip(requests, batch.results):
+            assert np.array_equal(res.values, reference_sort(req.to_values()))
 
     def test_cpu_engine_batch_moves_no_bytes(self, rng):
         requests = [

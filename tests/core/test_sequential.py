@@ -7,7 +7,6 @@ the classic/simplified equivalence.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

@@ -69,8 +69,9 @@ class TestCLI:
                        "external", "periodic-balanced", "sharded-abisort"):
             assert engine in out
         # Every engine row carries a one-line description and the default
-        # engine is starred.
-        assert "abisort*" in out
+        # engine (the planner front end) is starred.
+        assert "auto*" in out
+        assert "cost-model planner" in out  # auto's description
         assert "loser-tree merge" in out  # sharded-abisort's description
         assert "NumPy lexsort" in out     # cpu-std's description
 
@@ -89,6 +90,28 @@ class TestCLI:
                      "--gpu", "6800"]) == 0
         out = capsys.readouterr().out
         assert "GeForce 6800 Ultra" in out and "AGP" in out
+
+    def test_plan_command(self, capsys):
+        assert main(["plan", "--n", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "plan for n=1024" in out
+        assert "->" in out and "predicted" in out
+        # Every scored candidate appears, winner starred.
+        assert "*" in out
+        assert "abisort" in out and "cpu-std" in out
+
+    def test_plan_command_batch_and_devices(self, capsys):
+        assert main(["plan", "--n", "512", "--gpu", "6800", "--batch", "4",
+                     "--max-devices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "GeForce 6800" in out
+        assert "batch of 4:" in out and "predicted makespan" in out
+
+    def test_sort_with_auto_engine(self, capsys):
+        assert main(["sort", "--n", "256", "--engine", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "engine 'auto'" in out
+        assert "planner pick:" in out
 
     def test_sort_with_engine(self, capsys):
         assert main(["sort", "--n", "256", "--engine", "bitonic-network"]) == 0

@@ -26,7 +26,10 @@ from repro.engines import (
     SortTelemetry,
 )
 
-ENGINES = repro.engines.available()
+# The concrete backends: every registered engine except the "auto" front
+# end, whose plan -> execute behaviour (it reports the *chosen* backend as
+# result.engine) is covered by tests/planner/.
+ENGINES = tuple(e for e in repro.engines.available() if e != "auto")
 
 N_POW2 = 64
 N_ODD = 100
@@ -206,6 +209,8 @@ class TestRegistry:
             "bitonic-network", "odd-even-merge", "periodic-balanced",
             "odd-even-transition", "cpu-quicksort", "external",
         } <= set(ENGINES)
+        assert "auto" in repro.engines.available()
+        assert repro.engines.DEFAULT_ENGINE == "auto"
 
     def test_available_filters_by_capability(self):
         assert "external" in repro.engines.available(require=("out_of_core",))
