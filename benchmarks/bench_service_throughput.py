@@ -1,0 +1,106 @@
+"""E25 -- modeled service throughput: coalesced batches vs one-at-a-time.
+
+The service layer's reason to exist: 64 concurrent in-flight requests,
+coalesced into planner-sized batches and LPT-placed on a modeled 4-device
+GeForce 7800 GTX / PCIe cluster (the paper's Table-3 system), must beat
+naive one-at-a-time submission by a wide margin of *modeled* time.  The
+naive yardstick is each request served serially -- exactly the per-batch
+``serialized_ms`` the scheduler reports (all upload/sort/download stages
+back to back, no overlap, no device parallelism); the service time is the
+sum of per-batch overlapped makespans.  The issue's acceptance bar is a
+>= 1.5x throughput gain; the measured gain on this model is ~4x (device
+parallelism) plus the Section-7 overlap on each device's bus.
+
+Also asserts the service layer's other contract end to end: every result
+bit-identical to direct ``repro.sort`` of the same request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.service import ServiceConfig, SortService
+from repro.stream.gpu_model import GEFORCE_7800_GTX, PCIE_SYSTEM
+from repro.workloads.generators import generate_keys
+
+IN_FLIGHT = 64
+DEVICES = 4
+MAX_BATCH = 16
+#: Mixed request sizes: a realistic service sees small and large sorts.
+SIZES = tuple(1 << e for e in (10, 11, 12, 13)) * (IN_FLIGHT // 4)
+REQUIRED_SPEEDUP = 1.5
+
+
+def _requests() -> list[repro.SortRequest]:
+    return [
+        repro.SortRequest(
+            keys=generate_keys("uniform", n, seed=i),
+            gpu=GEFORCE_7800_GTX,
+            host=PCIE_SYSTEM,
+        )
+        for i, n in enumerate(SIZES)
+    ]
+
+
+def _run_service() -> tuple[SortService, list[repro.SortResult]]:
+    service = SortService(
+        ServiceConfig(
+            devices=DEVICES,
+            gpu=GEFORCE_7800_GTX,
+            host=PCIE_SYSTEM,
+            max_pending=IN_FLIGHT,
+            coalesce_window_ms=200.0,
+            max_batch=MAX_BATCH,
+        )
+    )
+    results = service.map(_requests())
+    return service, results
+
+
+def test_service_throughput(benchmark, bench_json):
+    service, results = benchmark.pedantic(_run_service, rounds=1, iterations=1)
+    stats = service.stats
+
+    # Bit-identity against direct dispatch, across the whole grid.
+    for request, result in zip(_requests(), results):
+        direct = repro.sort(request)
+        assert np.array_equal(result.values, direct.values)
+
+    naive_ms = stats.serialized_ms
+    service_ms = stats.service_makespan_ms
+    speedup = naive_ms / service_ms
+    total_pairs = sum(SIZES)
+    rows = {
+        "in_flight": IN_FLIGHT,
+        "devices": DEVICES,
+        "max_batch": MAX_BATCH,
+        "batches": stats.batches,
+        "mean_batch": stats.mean_batch,
+        "naive_serialized_ms": naive_ms,
+        "service_makespan_ms": service_ms,
+        "speedup": speedup,
+        "pairs_per_modeled_s_naive": total_pairs / (naive_ms / 1e3),
+        "pairs_per_modeled_s_service": total_pairs / (service_ms / 1e3),
+        "total_queue_wait_ms": stats.telemetry.queue_wait_ms,
+    }
+    bench_json(**rows)
+    print(
+        f"\nservice throughput at {IN_FLIGHT} in-flight requests on "
+        f"{DEVICES} x GeForce 7800 GTX:"
+    )
+    print(
+        f"  naive one-at-a-time: {naive_ms:9.2f} ms modeled "
+        f"({rows['pairs_per_modeled_s_naive'] / 1e6:.2f} M pairs/s)"
+    )
+    print(
+        f"  coalesced service:   {service_ms:9.2f} ms modeled "
+        f"({rows['pairs_per_modeled_s_service'] / 1e6:.2f} M pairs/s) "
+        f"in {stats.batches} batches (mean {stats.mean_batch:.1f})"
+    )
+    print(f"  speedup: {speedup:.2f}x (required >= {REQUIRED_SPEEDUP}x)")
+    assert stats.completed == IN_FLIGHT
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"coalesced service speedup {speedup:.2f}x below the "
+        f"{REQUIRED_SPEEDUP}x acceptance bar"
+    )

@@ -48,7 +48,7 @@ def test_table2(benchmark, bench_json):
     big = rows[-1]
     z = big.abisort_ms["z-order"]
     r = big.abisort_ms["row-wise"]
-    # Shape assertions (DESIGN.md E7).
+    # Shape assertions (experiment E7; see the module docstring).
     assert z < r < big.gpusort_ms, "z < row < GPUSort must hold"
     cpu_mid = 0.5 * (big.cpu_lo_ms + big.cpu_hi_ms)
     assert 1.5 < cpu_mid / z < 3.5, f"CPU/ABiSort-z speedup {cpu_mid / z:.2f}"

@@ -1,7 +1,7 @@
 """Shared benchmark configuration.
 
 Every benchmark regenerates one table or figure of the paper (see the
-per-experiment index in DESIGN.md) and *prints* the regenerated rows, so a
+E-numbers in each module docstring) and *prints* the regenerated rows, so a
 ``pytest benchmarks/ --benchmark-only -s`` run reproduces the evaluation
 section on the terminal.
 

@@ -7,9 +7,9 @@ A full reimplementation of
     IPDPS 2006 (extended version: TU Clausthal IfI technical report
     IfI-06-11),
 
-on a software-simulated stream machine.  See README.md for a tour,
-DESIGN.md for the system inventory and per-experiment index, and
-EXPERIMENTS.md for the paper-vs-measured record.
+on a software-simulated stream machine.  See README.md for a tour and the
+``docs/`` site for the layer map (docs/architecture.md), the service
+guide (docs/service.md), and runnable recipes (docs/cookbook.md).
 
 Quick start (the unified engine API)::
 
@@ -54,7 +54,7 @@ from repro.core.api import (
 )
 from repro.core.abisort import GPUABiSorter
 from repro.core.optimized import OptimizedGPUABiSorter
-from repro import cluster, engines, planner
+from repro import cluster, engines, planner, service
 from repro.engines import (
     BatchResult,
     EngineCapabilities,
@@ -66,6 +66,7 @@ from repro.engines import (
     sort_batch,
 )
 from repro.planner import BatchPlan, Planner, SortPlan
+from repro.service import ServiceConfig, SortService
 
 
 def plan(request, **kwargs):
@@ -85,7 +86,7 @@ def plan(request, **kwargs):
     return chosen.plan(_as_request(request))
 
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ReproError",
@@ -111,6 +112,9 @@ __all__ = [
     "engines",
     "cluster",
     "planner",
+    "service",
+    "SortService",
+    "ServiceConfig",
     "SortEngine",
     "SortRequest",
     "SortResult",

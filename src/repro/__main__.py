@@ -6,6 +6,7 @@ Commands
 ``sort``      sort a generated workload, report counters and modeled times
 ``plan``      explain the cost-model planner's decision for a request
 ``cluster``   sharded sort across N modeled devices with overlap pipeline
+``serve``     run the async sort service over a newline-delimited-JSON socket
 ``backends``  list the registered sort engines with their capability flags
 ``figures``   regenerate the paper's Figures 1 and 4-7 as text
 ``table2``    regenerate Table 2 (GeForce 6800 / AGP) with its plot
@@ -24,6 +25,7 @@ Examples::
     python -m repro sort --n 4096 --engine auto
     python -m repro plan --n 65536 --gpu 6800
     python -m repro cluster --n 65536 --devices 4 --gpu 7800
+    python -m repro serve --port 7806 --devices 4
     python -m repro figures 6
     python -m repro table2 --sizes 4096 16384 65536
     python -m repro ops --n 4096 --engine periodic-balanced
@@ -174,6 +176,70 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     ok = np.array_equal(result.values, single.values)
     print(f"  output bit-identical to single-device engine: {'yes' if ok else 'NO'}")
     return 0 if ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: the async sort service over an NDJSON socket.
+
+    Binds a :class:`repro.service.SortService` to ``--host``/``--port``
+    (``--port 0`` picks a free one) and serves one JSON object per line
+    until interrupted -- or, with ``--limit N``, until N responses have
+    been written (the smoke-test hook).  Prints the final service stats
+    on shutdown.  Wire protocol: :mod:`repro.service.server`.
+    """
+    import asyncio
+
+    from repro.analysis.cluster_report import format_service_stats
+    from repro.service import ServiceConfig, SortService, serve_forever
+    from repro.stream.gpu_model import (
+        AGP_SYSTEM,
+        GEFORCE_6800_ULTRA,
+        GEFORCE_7800_GTX,
+        PCIE_SYSTEM,
+    )
+
+    if args.gpu == "6800":
+        gpu, host_model = GEFORCE_6800_ULTRA, AGP_SYSTEM
+    else:
+        gpu, host_model = GEFORCE_7800_GTX, PCIE_SYSTEM
+    config = ServiceConfig(
+        devices=args.devices,
+        gpu=gpu,
+        host=host_model,
+        engine=args.engine,
+        max_pending=args.max_pending,
+        coalesce_window_ms=args.window_ms,
+        max_batch=args.max_batch,
+    )
+
+    def on_ready(port: int) -> None:
+        print(
+            f"serving on {args.host}:{port} "
+            f"({args.devices} x {gpu.name} workers, "
+            f"window {args.window_ms} ms, max batch {args.max_batch}, "
+            f"max pending {args.max_pending})",
+            flush=True,
+        )
+
+    # Construct the service here so Ctrl-C (which unwinds through
+    # asyncio.run before serve_forever can return it) still leaves a
+    # handle for the final stats report.
+    service = SortService(config)
+    try:
+        asyncio.run(
+            serve_forever(
+                None,  # config lives on the service already
+                args.host,
+                args.port,
+                limit=args.limit,
+                on_ready=on_ready,
+                service=service,
+            )
+        )
+    except KeyboardInterrupt:
+        print("interrupted")
+    print(format_service_stats(service.stats))
+    return 0
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
@@ -448,6 +514,32 @@ def build_parser() -> argparse.ArgumentParser:
                        default="uniform")
     p_clu.add_argument("--seed", type=int, default=0)
     p_clu.set_defaults(func=cmd_cluster)
+
+    p_srv = sub.add_parser(
+        "serve", help="async sort service over a newline-delimited-JSON socket"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7806,
+                       help="TCP port (0 picks a free one; default 7806)")
+    p_srv.add_argument("--devices", type=int, default=4,
+                       help="worker-pool size, one worker per modeled "
+                            "device (default 4)")
+    p_srv.add_argument("--gpu", choices=("6800", "7800"), default="7800",
+                       help="hardware model: Table-2 6800/AGP or "
+                            "Table-3 7800/PCIe (default)")
+    p_srv.add_argument("--engine", default=None,
+                       help="default backend for unpinned requests "
+                            "(default: the planner)")
+    p_srv.add_argument("--window-ms", type=float, default=2.0,
+                       help="coalesce window in milliseconds (default 2)")
+    p_srv.add_argument("--max-batch", type=int, default=32,
+                       help="coalesced batch size cap (default 32)")
+    p_srv.add_argument("--max-pending", type=int, default=256,
+                       help="admission-control bound on in-flight requests "
+                            "(default 256)")
+    p_srv.add_argument("--limit", type=int, default=None,
+                       help="exit after this many responses (smoke tests)")
+    p_srv.set_defaults(func=cmd_serve)
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("which", nargs="?", default="all",

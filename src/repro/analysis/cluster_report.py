@@ -1,4 +1,4 @@
-"""Human-readable reports for cluster schedules.
+"""Human-readable reports for cluster schedules and the sort service.
 
 Renders a :class:`repro.cluster.scheduler.ClusterSchedule` (or a full
 :class:`repro.cluster.sharded.ShardedSortResult`) as the per-device table
@@ -7,6 +7,9 @@ print: per device, the time spent in each pipeline stage, the active span,
 and the pipeline-bubble time; then the schedule-level aggregates --
 critical-path makespan, host merge time, and the speedup against running
 the same stages with no overlap and no device parallelism.
+:func:`format_service_stats` gives the matching lifetime report for a
+:class:`repro.service.ServiceStats` record (``python -m repro serve``
+prints it on shutdown).
 """
 
 from __future__ import annotations
@@ -14,7 +17,11 @@ from __future__ import annotations
 from repro.cluster.scheduler import ClusterSchedule
 from repro.cluster.sharded import ShardedSortResult
 
-__all__ = ["format_cluster_schedule", "format_sharded_result"]
+__all__ = [
+    "format_cluster_schedule",
+    "format_sharded_result",
+    "format_service_stats",
+]
 
 
 def format_cluster_schedule(schedule: ClusterSchedule, title: str = "") -> str:
@@ -72,4 +79,37 @@ def format_sharded_result(result: ShardedSortResult, title: str = "") -> str:
             f"{result.merge_modeled_ms:.2f} ms on the host"
         )
     lines.append(format_cluster_schedule(result.schedule))
+    return "\n".join(lines)
+
+
+def format_service_stats(stats, title: str = "service stats") -> str:
+    """Lifetime report for one :class:`repro.service.ServiceStats` record.
+
+    Admission counts, batch shape, the modeled service time against the
+    serialized yardstick, and the summed per-request telemetry (the same
+    aggregate :func:`repro.engines.telemetry.aggregate_telemetry` builds
+    for batches, queue-wait and coalesce fields included).
+    """
+    lines = [title + ":"] if title else []
+    lines.append(
+        f"  requests: {stats.submitted} submitted, {stats.completed} "
+        f"completed, {stats.rejected} rejected, {stats.failed} failed"
+    )
+    lines.append(
+        f"  batches: {stats.batches} "
+        f"(mean {stats.mean_batch:.1f}, largest {stats.largest_batch})"
+    )
+    if stats.service_makespan_ms:
+        lines.append(
+            f"  modeled service time {stats.service_makespan_ms:.2f} ms vs "
+            f"{stats.serialized_ms:.2f} ms serialized "
+            f"({stats.modeled_speedup:.2f}x)"
+        )
+    t = stats.telemetry
+    if t.requests:
+        lines.append(
+            f"  total queue wait {t.queue_wait_ms:.1f} ms "
+            f"(coalesce {t.coalesce_ms:.1f} ms) over {t.requests} requests"
+        )
+        lines.append("  aggregate telemetry: " + t.summary())
     return "\n".join(lines)

@@ -14,7 +14,8 @@ substrate (the instrumented quicksort on the CPU side; the full stream
 program on the stream machine), and the resulting operation counts go
 through the hardware cost models of :mod:`repro.stream.gpu_model`.  The
 plots in the paper show the same series as the tables, so one harness
-serves both.  EXPERIMENTS.md records paper-vs-modeled side by side; the
+serves both.  The benchmark JSON (BENCH_table2/3) records
+paper-vs-modeled side by side; the
 reproduction criterion is the *shape* (who wins where, crossovers, rough
 factors), not absolute milliseconds.
 """
@@ -79,7 +80,7 @@ def cpu_range_ms(
     The paper reports ranges because quicksort is data dependent; we run
     the instrumented quicksort over several seeds and model each run.  (Our
     modeled spread is narrower than the paper's measured one, which also
-    contains cache/branch effects; see EXPERIMENTS.md.)
+    contains cache/branch effects; see benchmarks/bench_table3_geforce7800.py.)
     """
     times = []
     for seed in seeds:

@@ -61,6 +61,7 @@ class StageEvent:
 
     @property
     def duration_ms(self) -> float:
+        """The stage's occupancy time on its resource."""
         return self.end_ms - self.start_ms
 
 

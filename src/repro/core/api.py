@@ -7,12 +7,15 @@
     out-of-core sorter) and returns structured telemetry.  With no engine
     argument, :func:`repro.sort` now routes through the cost-model planner
     (``engine="auto"``, :mod:`repro.planner`), which picks the cheapest
-    capability-feasible backend and device count per request shape --
-    calling these shims opts out of that selection (they always run
-    GPU-ABiSort) as well as of capability checks and telemetry.  The
+    capability-feasible backend and device count per request shape;
+    concurrent callers should go one layer higher still, through
+    :class:`repro.service.SortService`, which adds coalescing, admission
+    control, and worker-per-device execution on top of the same planned
+    dispatch.  Calling these shims opts out of all of that (they always
+    run GPU-ABiSort) as well as of capability checks and telemetry.  The
     functions remain supported as convenience shims for the common
     ABiSort-only cases and are what the engine adapters themselves are
-    built from.
+    built from.  See docs/architecture.md for the full layer map.
 
 :func:`abisort` sorts a ``VALUE_DTYPE`` array; :func:`sort_key_value`
 sorts plain key/id arrays.  Both accept an :class:`ABiSortConfig`

@@ -71,6 +71,8 @@ from repro.engines.auto import AutoEngine
 from repro.engines.telemetry import (
     aggregate_telemetry,
     fill_schedule_telemetry,
+    pipeline_tasks_for_results,
+    result_stage_specs,
 )
 
 register_builtin_engines()
@@ -195,7 +197,7 @@ def _sort_batch_cluster(
     request's upload/sort/download on its LPT-assigned device.
     """
     from repro.cluster.device import make_devices
-    from repro.cluster.scheduler import PipelineTask, Scheduler
+    from repro.cluster.scheduler import Scheduler
 
     cluster = make_devices(
         devices, gpu=requests[0].gpu, host=requests[0].host
@@ -204,38 +206,12 @@ def _sort_batch_cluster(
     eng = get(engine)
     results = [eng.sort(r) for r in requests]
 
-    stage_specs: list[tuple[int, float]] = []
-    weights: list[float] = []
-    for res in results:
-        # Stream-machine engines pay the bus round trip; host-side engines
-        # (cpu-*, external) have nothing to upload to a device.
-        on_device = res.machine is not None or res.cluster is not None
-        nbytes = res.values.nbytes if on_device else 0
-        sort_ms = (
-            res.telemetry.modeled_gpu_ms
-            if on_device
-            else res.telemetry.modeled_total_ms
-        )
-        stage_specs.append((nbytes, sort_ms))
-        weights.append(
-            link.upload_ms(nbytes) + sort_ms + link.download_ms(nbytes)
-        )
-
     scheduler = Scheduler(cluster, overlap=True)
+    specs, weights = result_stage_specs(results, link)
     assignment = scheduler.assign_lpt(weights)
-    # Tasks enter each device's FIFO pipeline in LPT service order
-    # (heaviest first), matching the placement's load accounting.
-    order = sorted(range(len(requests)), key=lambda i: (-weights[i], i))
-    tasks = [
-        PipelineTask(
-            label=f"req{i}",
-            device=assignment[i],
-            upload_bytes=stage_specs[i][0],
-            sort_ms=stage_specs[i][1],
-            download_bytes=stage_specs[i][0],
-        )
-        for i in order
-    ]
+    tasks = pipeline_tasks_for_results(
+        results, assignment, link, specs=specs, weights=weights
+    )
     schedule = scheduler.run(tasks)
 
     total = aggregate_telemetry(results)

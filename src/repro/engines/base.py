@@ -166,6 +166,14 @@ class SortTelemetry:
     on transfers), and ``modeled_makespan_ms`` -- the critical-path
     completion time of the overlapped schedule, as opposed to
     ``modeled_total_ms`` which sums the stage times as if serialized.
+
+    Requests served through :class:`repro.service.SortService` additionally
+    carry the service-layer fields: ``queue_wait_ms`` (measured wall time
+    from submission to execution start, coalescing included),
+    ``coalesce_ms`` (the slice of that wait spent holding the batch open
+    for more arrivals), and ``service_makespan_ms`` (the modeled
+    critical-path completion time of the whole coalesced batch the request
+    rode in -- every request of one batch reports the same value).
     """
 
     n: int = 0
@@ -188,6 +196,9 @@ class SortTelemetry:
     modeled_transfer_ms: float = 0.0
     modeled_makespan_ms: float = 0.0
     pipeline_bubble_ms: float = 0.0
+    queue_wait_ms: float = 0.0
+    coalesce_ms: float = 0.0
+    service_makespan_ms: float = 0.0
 
     @property
     def modeled_total_ms(self) -> float:
@@ -199,9 +210,13 @@ class SortTelemetry:
 
         Counters and modeled times sum (summed ``modeled_makespan_ms``
         means requests running back to back; the cluster batch path
-        overwrites it with the overlapped schedule's makespan).
-        ``devices`` takes the maximum: a batch on a 4-device cluster used 4
-        devices, not 4 per request summed.
+        overwrites it with the overlapped schedule's makespan).  The
+        service fields sum too -- ``queue_wait_ms`` becomes total wait, and
+        summed ``service_makespan_ms`` over one batch overcounts it by the
+        batch size, which is why :class:`repro.service.ServiceStats` tracks
+        per-batch makespans separately.  ``devices`` takes the maximum: a
+        batch on a 4-device cluster used 4 devices, not 4 per request
+        summed.
         """
         for f in fields(self):
             if f.name in ("n", "requests", "devices"):
@@ -232,6 +247,12 @@ class SortTelemetry:
             parts.append(
                 f"{self.devices} devices, {self.transfer_bytes / 1e6:.1f} MB "
                 f"over the bus, makespan {self.modeled_makespan_ms:.2f} ms"
+            )
+        if self.queue_wait_ms or self.service_makespan_ms:
+            parts.append(
+                f"queued {self.queue_wait_ms:.1f} ms "
+                f"(coalesce {self.coalesce_ms:.1f} ms), "
+                f"service makespan {self.service_makespan_ms:.2f} ms"
             )
         parts.append(f"wall {self.wall_time_s * 1e3:.1f} ms")
         return ", ".join(parts)

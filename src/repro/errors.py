@@ -18,6 +18,9 @@ the layers of the system:
   does not support it (see the per-engine capability flags).
 * :class:`ModelError` -- invalid hardware-model configuration in
   :mod:`repro.stream.gpu_model` or :mod:`repro.stream.cache`.
+* :class:`ServiceError` / :class:`ServiceOverloadError` -- problems at the
+  :mod:`repro.service` layer (misuse of a stopped service; admission
+  control rejecting a request because the service is saturated).
 """
 
 from __future__ import annotations
@@ -86,3 +89,28 @@ class CapabilityError(EngineError):
 
 class ModelError(ReproError):
     """An invalid hardware model or cost-model configuration."""
+
+
+class ServiceError(ReproError):
+    """A problem at the :mod:`repro.service` layer.
+
+    Raised for lifecycle misuse (submitting to a service that was never
+    started, starting one twice) and malformed service requests.  Saturation
+    raises the more specific :class:`ServiceOverloadError`.
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control rejected a request: the service is saturated.
+
+    The bounded intake queue of :class:`repro.service.SortService` was full
+    (``max_pending`` requests already queued or in flight).  The caller
+    should back off and retry after :attr:`retry_after_ms` milliseconds --
+    the NDJSON server forwards the same hint as a ``retry_after_ms`` field
+    in its error response.
+    """
+
+    def __init__(self, message: str, *, retry_after_ms: float):
+        super().__init__(message)
+        #: Suggested client back-off before resubmitting, in milliseconds.
+        self.retry_after_ms = retry_after_ms

@@ -58,6 +58,7 @@ class PlanCandidate:
 
     @property
     def cost_ms(self) -> float:
+        """The candidate's predicted scalar cost (what the pick minimises)."""
         return self.estimate.cost_ms
 
 
@@ -79,6 +80,7 @@ class SortPlan:
 
     @property
     def cost_ms(self) -> float:
+        """The winning candidate's predicted scalar cost."""
         return self.estimate.cost_ms
 
     def explain(self) -> str:
@@ -143,6 +145,7 @@ class PlanCache:
             self._generation = generation
 
     def get(self, shape: RequestShape) -> SortPlan | None:
+        """The cached plan for ``shape``, or ``None`` (counts hit/miss)."""
         self._validate()
         plan = self._lru.get(shape)
         if plan is None:
@@ -153,6 +156,7 @@ class PlanCache:
         return plan
 
     def put(self, shape: RequestShape, plan: SortPlan) -> None:
+        """Memoise ``plan`` under ``shape``, evicting the LRU entry."""
         self._validate()
         self._lru[shape] = plan
         self._lru.move_to_end(shape)
@@ -160,6 +164,7 @@ class PlanCache:
             self._lru.popitem(last=False)
 
     def clear(self) -> None:
+        """Drop every cached plan and reset the hit/miss counters."""
         self._lru.clear()
         self.hits = 0
         self.misses = 0

@@ -1,0 +1,58 @@
+"""The async sort service: concurrency on top of plan -> execute.
+
+The fifth layer of the stack (``stream -> core -> engines -> cluster ->
+planner -> service``; see ``docs/architecture.md``): an asyncio service
+that accepts concurrent sort requests, coalesces them into planner-sized
+batches under a latency/size window, applies admission control with
+bounded queues (rejecting with a retry-after hint when saturated), and
+executes through the existing plan -> execute path on a worker pool --
+one worker per modeled cluster :class:`~repro.cluster.device.Device`,
+LPT-placed like the ``sort_batch`` cluster fast path.
+
+Three entry points:
+
+* ``async`` -- :func:`submit` (process-default service) or an explicit
+  :class:`SortService` used as an async context manager::
+
+      async with SortService(devices=4) as svc:
+          result = await svc.submit(request)
+
+* synchronous -- :meth:`SortService.map` for scripts::
+
+      results = SortService(devices=4).map(requests)
+
+* over a socket -- ``python -m repro serve`` speaks newline-delimited
+  JSON (:mod:`repro.service.server`).
+
+Results are bit-identical to :func:`repro.sort`; the service only adds
+queueing, batching, and placement around the same engine dispatch.  See
+``docs/service.md`` for the queueing semantics and tuning knobs.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.service import (
+    ServiceStats,
+    SortService,
+    close_default,
+    default_service,
+    submit,
+)
+from repro.service.server import (
+    request_sort,
+    serve_forever,
+    sort_over_socket,
+    start_server,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceStats",
+    "SortService",
+    "submit",
+    "default_service",
+    "close_default",
+    "start_server",
+    "serve_forever",
+    "request_sort",
+    "sort_over_socket",
+]

@@ -1,0 +1,272 @@
+"""Newline-delimited-JSON socket front end for :class:`SortService`.
+
+``python -m repro serve`` binds a :class:`repro.service.SortService` to a
+TCP socket.  The wire protocol is one JSON object per line, in both
+directions:
+
+Request lines
+    ``{"keys": [0.3, 0.1, ...]}`` sorts; optional fields: ``"ids"`` (payload
+    permutation input), ``"engine"`` (a registered backend name; omitted =
+    the service default, normally the planner), and ``"id"`` (an opaque
+    tag echoed back, for matching pipelined responses).  Control lines:
+    ``{"op": "stats"}`` returns the running :class:`ServiceStats` fields,
+    ``{"op": "ping"}`` returns ``{"ok": true}``.
+
+Response lines
+    ``{"id": ..., "engine": "...", "n": 5, "keys": [...], "ids": [...],
+    "telemetry": {...}}`` on success, where ``telemetry`` carries the
+    service-relevant fields (queue wait, coalesce, service makespan,
+    modeled totals).  On failure ``{"id": ..., "error": "..."}``; admission
+    rejections use ``{"error": "overloaded", "retry_after_ms": ...}`` so
+    clients know how long to back off.
+
+Each connection may pipeline: request lines are served concurrently (that
+is what lets the service coalesce them into one batch) and responses come
+back **in completion order**, so pipelining clients should tag requests
+with ``"id"``.
+
+:func:`request_sort` / :func:`sort_over_socket` are the matching client
+helpers used by the tests and the cookbook.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.engines.base import SortRequest, SortResult
+from repro.errors import ReproError, ServiceOverloadError
+from repro.service.config import ServiceConfig
+from repro.service.service import SortService
+
+__all__ = [
+    "start_server",
+    "serve_forever",
+    "request_sort",
+    "sort_over_socket",
+]
+
+
+def _telemetry_payload(result: SortResult) -> dict:
+    """The service-relevant telemetry fields of one result, JSON-ready."""
+    t = result.telemetry
+    return {
+        "queue_wait_ms": t.queue_wait_ms,
+        "coalesce_ms": t.coalesce_ms,
+        "service_makespan_ms": t.service_makespan_ms,
+        "modeled_total_ms": t.modeled_total_ms,
+        "modeled_makespan_ms": t.modeled_makespan_ms,
+        "stream_ops": t.stream_ops,
+        "devices": t.devices,
+        "wall_time_s": t.wall_time_s,
+    }
+
+
+def _parse_request(message: dict, config) -> tuple[SortRequest, str | None]:
+    """Build the (request, engine) pair one JSON sort line describes.
+
+    The wire protocol carries no hardware fields: requests inherit the
+    serving :class:`~repro.service.ServiceConfig`'s ``gpu``/``host``
+    models, so ``python -m repro serve --gpu 6800`` prices every socket
+    request on the system it advertises.
+    """
+    if "keys" not in message:
+        raise ReproError('sort lines need a "keys" array')
+    keys = np.asarray(message["keys"], dtype=np.float32)
+    ids = message.get("ids")
+    if ids is not None:
+        ids = np.asarray(ids, dtype=np.uint32)
+    request = SortRequest(keys=keys, ids=ids, gpu=config.gpu, host=config.host)
+    return request, message.get("engine")
+
+
+async def _serve_line(service: SortService, message: dict) -> dict:
+    """Serve one parsed request line, returning the response object."""
+    tag = message.get("id")
+    try:
+        if message.get("op") == "ping":
+            return {"id": tag, "ok": True}
+        if message.get("op") == "stats":
+            stats = service.stats
+            return {
+                "id": tag,
+                "submitted": stats.submitted,
+                "completed": stats.completed,
+                "rejected": stats.rejected,
+                "failed": stats.failed,
+                "batches": stats.batches,
+                "mean_batch": stats.mean_batch,
+                "largest_batch": stats.largest_batch,
+                "service_makespan_ms": stats.service_makespan_ms,
+                "serialized_ms": stats.serialized_ms,
+                "modeled_speedup": stats.modeled_speedup,
+            }
+        request, engine = _parse_request(message, service.config)
+        result = await service.submit(request, engine=engine)
+        return {
+            "id": tag,
+            "engine": result.engine,
+            "n": len(result),
+            "keys": [float(k) for k in result.keys],
+            "ids": [int(i) for i in result.ids],
+            "telemetry": _telemetry_payload(result),
+        }
+    except ServiceOverloadError as err:
+        return {
+            "id": tag,
+            "error": "overloaded",
+            "retry_after_ms": err.retry_after_ms,
+        }
+    except ReproError as err:
+        return {"id": tag, "error": str(err)}
+    except Exception as err:  # noqa: BLE001 -- a client must always get a
+        # response line; e.g. np.asarray raising on non-numeric keys would
+        # otherwise kill the respond task and hang the client's readline.
+        return {"id": tag, "error": f"{type(err).__name__}: {err}"}
+
+
+async def start_server(
+    service: SortService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    limit: int | None = None,
+    done: asyncio.Event | None = None,
+) -> asyncio.AbstractServer:
+    """Bind ``service`` to a TCP socket (``port=0`` picks a free port).
+
+    The returned server is started; its bound port is
+    ``server.sockets[0].getsockname()[1]``.  ``limit`` sets ``done`` (if
+    given) after that many responses have been written -- the hook
+    :func:`serve_forever` and the tests use to stop a server
+    deterministically.  The caller owns both the server and the service
+    lifecycles.
+    """
+    served = 0
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        nonlocal served
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+
+        async def respond(message: dict) -> None:
+            nonlocal served
+            response = await _serve_line(service, message)
+            async with write_lock:
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+            served += 1
+            if limit is not None and served >= limit and done is not None:
+                done.set()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode().strip()
+                if not text:
+                    continue
+                try:
+                    message = json.loads(text)
+                except json.JSONDecodeError as err:
+                    message = None
+                    async with write_lock:
+                        writer.write(
+                            (json.dumps({"error": f"bad JSON: {err}"}) + "\n").encode()
+                        )
+                        await writer.drain()
+                if message is not None:
+                    # Serve concurrently so one connection's pipelined
+                    # lines can coalesce into a single batch.
+                    task = asyncio.create_task(respond(message))
+                    pending.add(task)
+                    task.add_done_callback(pending.discard)
+        finally:
+            if pending:
+                await asyncio.gather(*list(pending), return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # client went away first
+                pass
+
+    return await asyncio.start_server(handle, host, port)
+
+
+async def serve_forever(
+    config: ServiceConfig | None = None,
+    host: str = "127.0.0.1",
+    port: int = 7806,
+    *,
+    limit: int | None = None,
+    on_ready=None,
+    service: SortService | None = None,
+) -> "SortService":
+    """Run a service-backed NDJSON server until cancelled (or ``limit``).
+
+    Starts a :class:`SortService` under ``config`` (or the caller's own
+    un-started ``service`` -- useful to keep a handle on its
+    :class:`ServiceStats` when cancellation unwinds through
+    ``asyncio.run``), binds it to ``host:port``, then serves until the
+    task is cancelled -- or, with ``limit``, until that many responses
+    have been written (the CLI's ``--limit`` smoke/testing hook).
+    ``on_ready(port)`` is called once the socket is bound (the CLI prints
+    the listening line from it).  Returns the (closed) service so callers
+    can inspect its final stats.
+    """
+    if service is None:
+        service = SortService(config)
+    await service.start()
+    stop = asyncio.Event()
+    server = await start_server(
+        service, host, port, limit=limit, done=stop
+    )
+    try:
+        bound = server.sockets[0].getsockname()[1]
+        if on_ready is not None:
+            on_ready(bound)
+        if limit is None:
+            await asyncio.Event().wait()  # until cancelled
+        else:
+            await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.close()
+    return service
+
+
+async def request_sort(
+    host: str,
+    port: int,
+    keys,
+    *,
+    engine: str | None = None,
+    tag=None,
+) -> dict:
+    """One round trip against a running NDJSON server (async client)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        message: dict = {"keys": [float(k) for k in keys]}
+        if engine is not None:
+            message["engine"] = engine
+        if tag is not None:
+            message["id"] = tag
+        writer.write((json.dumps(message) + "\n").encode())
+        await writer.drain()
+        line = await reader.readline()
+        return json.loads(line.decode())
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def sort_over_socket(host: str, port: int, keys, *, engine: str | None = None) -> dict:
+    """Synchronous convenience wrapper over :func:`request_sort`."""
+    return asyncio.run(request_sort(host, port, keys, engine=engine))

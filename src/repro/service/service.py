@@ -1,0 +1,565 @@
+"""The asyncio sort service: coalesce, admit, place, execute, account.
+
+:class:`SortService` is the concurrency story on top of the plan ->
+execute pipeline.  Callers :meth:`~SortService.submit` individual
+:class:`~repro.engines.base.SortRequest`\\ s; the service
+
+1. **admits** them against a bounded queue (``max_pending``), rejecting
+   with :class:`~repro.errors.ServiceOverloadError` -- carrying a
+   ``retry_after_ms`` back-off hint -- when saturated, instead of letting
+   latency grow without bound;
+2. **coalesces** admitted requests into batches, holding each batch open
+   for ``coalesce_window_ms`` (or until ``max_batch`` requests arrive);
+3. **plans** the batch: per-request engine choice through the cost-model
+   planner (:meth:`~repro.planner.Planner.plan`), and placement across
+   the worker pool through :meth:`~repro.planner.Planner.plan_batch` /
+   :meth:`~repro.cluster.scheduler.Scheduler.assign_lpt` -- the same LPT
+   policy the ``sort_batch`` cluster fast path uses;
+4. **executes** each request on its assigned worker (one asyncio worker
+   per modeled cluster :class:`~repro.cluster.device.Device`, engines
+   instantiated once per worker so layout caches stay warm), off the
+   event loop via the default thread executor;
+5. **accounts**: each result's telemetry gains ``queue_wait_ms`` /
+   ``coalesce_ms`` (measured) and ``service_makespan_ms`` (the modeled
+   critical path of the batch's overlapped upload/sort/download schedule,
+   Section 7 of the paper generalised to the pool), and the running
+   :class:`ServiceStats` aggregates them across the service's lifetime.
+
+Results are **bit-identical** to calling :func:`repro.sort` directly with
+the same request: workers dispatch through the very same engine path, and
+the service only adds scheduling around it.
+
+Three entry points: ``async`` :meth:`SortService.submit` inside a running
+service (``async with SortService(...) as svc``), the synchronous
+:meth:`SortService.map` for scripts, and the process-default
+:func:`repro.service.submit` coroutine.  ``python -m repro serve`` wraps
+the service in a newline-delimited-JSON socket server
+(:mod:`repro.service.server`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.device import Device, make_devices
+from repro.cluster.scheduler import Scheduler
+from repro.engines import _as_request, registry
+from repro.engines.base import SortRequest, SortResult, SortTelemetry
+from repro.engines.telemetry import pipeline_tasks_for_results
+from repro.errors import EngineError, ServiceError, ServiceOverloadError
+from repro.planner.planner import Planner
+from repro.service.config import ServiceConfig
+
+__all__ = [
+    "ServiceStats",
+    "SortService",
+    "submit",
+    "default_service",
+    "close_default",
+]
+
+#: Intake sentinel: stop the coalescer (and then the workers).
+_STOP = object()
+#: Intake sentinel: seal the currently forming batch immediately.
+_FLUSH = object()
+
+
+@dataclass
+class _Ticket:
+    """One in-flight submission: request, routing, and its future."""
+
+    request: SortRequest
+    engine: str | None
+    future: asyncio.Future
+    submitted: float  # perf_counter at submit()
+    coalesce_ms: float = 0.0
+    plan: object | None = None
+    exec_engine: str = ""
+    result: SortResult | None = None
+    error: BaseException | None = None
+
+
+@dataclass
+class _Batch:
+    """One coalesced batch: tickets, their placement, a completion latch."""
+
+    tickets: list[_Ticket]
+    assignment: list[int]
+    completed: asyncio.Event
+    remaining: int
+
+
+@dataclass
+class ServiceStats:
+    """Running aggregates over a service's lifetime.
+
+    ``telemetry`` sums every completed request's record (the same
+    aggregation :func:`repro.engines.telemetry.aggregate_telemetry`
+    performs for batches); the batch-level fields keep what per-request
+    summing would overcount: ``service_makespan_ms`` adds each batch's
+    modeled makespan once, and ``serialized_ms`` each batch's
+    all-stages-serialized yardstick, so
+    :attr:`modeled_speedup` is the service's modeled throughput gain over
+    one-at-a-time submission.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    failed: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    service_makespan_ms: float = 0.0
+    serialized_ms: float = 0.0
+    telemetry: SortTelemetry = field(
+        default_factory=lambda: SortTelemetry(requests=0)
+    )
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean coalesced batch size (0 before the first batch)."""
+        if not self.batches:
+            return 0.0
+        return self.completed / self.batches
+
+    @property
+    def modeled_speedup(self) -> float:
+        """Serialized modeled time over batch makespans (1.0 when idle)."""
+        if not self.service_makespan_ms:
+            return 1.0
+        return self.serialized_ms / self.service_makespan_ms
+
+    def summary(self) -> str:
+        """One-line human-readable account of the service's lifetime."""
+        return (
+            f"{self.completed}/{self.submitted} completed "
+            f"({self.rejected} rejected, {self.failed} failed) in "
+            f"{self.batches} batches (mean {self.mean_batch:.1f}, "
+            f"largest {self.largest_batch}); modeled service time "
+            f"{self.service_makespan_ms:.2f} ms vs {self.serialized_ms:.2f} ms "
+            f"serialized ({self.modeled_speedup:.2f}x)"
+        )
+
+
+class SortService:
+    """An asyncio sort service over the four-layer stack.
+
+    Use as an async context manager::
+
+        async with SortService(devices=4) as svc:
+            results = await asyncio.gather(*(svc.submit(r) for r in reqs))
+
+    or synchronously from a script::
+
+        results = SortService(devices=4).map(requests)
+
+    Construction takes a :class:`~repro.service.ServiceConfig` (or its
+    fields as keyword arguments).  See the module docstring for the
+    pipeline a submission travels and ``docs/service.md`` for tuning.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, **overrides):
+        if config is not None and overrides:
+            raise ServiceError("pass a ServiceConfig or field overrides, not both")
+        self.config = config or ServiceConfig(**overrides)
+        self.stats = ServiceStats()
+        self._started = False
+        self._closing = False
+        self._pending = 0
+        self._devices: list[Device] = []
+        self._scheduler: Scheduler | None = None
+        self._planner: Planner | None = None
+        self._intake: asyncio.Queue | None = None
+        self._worker_queues: list[asyncio.Queue] = []
+        self._workers: list[asyncio.Task] = []
+        self._coalescer: asyncio.Task | None = None
+        self._finalizers: set[asyncio.Task] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the service is started and accepting submissions."""
+        return self._started and not self._closing
+
+    async def start(self) -> "SortService":
+        """Build the worker pool and start accepting submissions."""
+        if self._started:
+            raise ServiceError("service is already running")
+        cfg = self.config
+        self._loop = asyncio.get_running_loop()
+        self._devices = make_devices(cfg.devices, gpu=cfg.gpu, host=cfg.host)
+        self._scheduler = Scheduler(self._devices, overlap=True)
+        # Per-request plans stay single-device: the service's parallelism
+        # is the worker pool itself, so the planner must not nest modeled
+        # clusters inside one worker.
+        self._planner = Planner(max_devices=1)
+        self._intake = asyncio.Queue()
+        self._worker_queues = [asyncio.Queue() for _ in self._devices]
+        self._workers = [
+            asyncio.create_task(self._worker(i), name=f"repro-service-worker{i}")
+            for i in range(len(self._devices))
+        ]
+        self._coalescer = asyncio.create_task(
+            self._coalesce(), name="repro-service-coalescer"
+        )
+        self._started = True
+        self._closing = False
+        return self
+
+    async def close(self) -> None:
+        """Drain in-flight work, then stop the coalescer and workers.
+
+        Every already-admitted request completes (its future resolves)
+        before ``close`` returns; new submissions are rejected as soon as
+        closing begins.  Idempotent.
+        """
+        if not self._started:
+            return
+        self._closing = True
+        self._intake.put_nowait(_STOP)
+        await self._coalescer
+        # The coalescer has dispatched every admitted ticket; wait for the
+        # per-batch finalizers (they resolve the futures), then the workers.
+        while self._finalizers:
+            await asyncio.gather(*list(self._finalizers))
+        for queue in self._worker_queues:
+            queue.put_nowait(_STOP)
+        await asyncio.gather(*self._workers)
+        self._started = False
+
+    async def __aenter__(self) -> "SortService":
+        """Start the service (``async with SortService(...) as svc``)."""
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        """Drain and stop the service on context exit."""
+        await self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, request, engine: str | None = None) -> SortResult:
+        """Admit one request and await its result.
+
+        ``request`` accepts the same forms as :func:`repro.sort` (a
+        :class:`~repro.engines.base.SortRequest` or a bare array).
+        ``engine`` pins a registered backend; ``None`` falls back to the
+        service's configured default, and a ``None`` default routes the
+        request through the cost-model planner.  Raises
+        :class:`~repro.errors.ServiceOverloadError` (with a
+        ``retry_after_ms`` hint) when admission control rejects, and
+        re-raises whatever the execution raised (e.g.
+        :class:`~repro.errors.CapabilityError`) otherwise.
+        """
+        if not self.is_running:
+            raise ServiceError(
+                "service is not running; use `async with SortService(...)`"
+                " or call start()"
+            )
+        req = _as_request(request)
+        chosen = engine if engine is not None else self.config.engine
+        if chosen is not None and chosen not in registry.available():
+            # Fail fast, as repro.sort() would; never hand the coalescer a
+            # name it cannot route.
+            raise EngineError(
+                f"unknown engine {chosen!r}; available: "
+                f"{', '.join(registry.available())}"
+            )
+        if self._pending >= self.config.max_pending:
+            self.stats.rejected += 1
+            raise ServiceOverloadError(
+                f"service saturated: {self._pending} requests pending "
+                f"(max_pending={self.config.max_pending}); retry in "
+                f"{self.config.retry_after_ms:.0f} ms",
+                retry_after_ms=self.config.retry_after_ms,
+            )
+        self._pending += 1
+        self.stats.submitted += 1
+        ticket = _Ticket(
+            request=req,
+            engine=chosen,
+            future=asyncio.get_running_loop().create_future(),
+            submitted=time.perf_counter(),
+        )
+        self._intake.put_nowait(ticket)
+        return await ticket.future
+
+    async def flush(self) -> None:
+        """Seal the currently forming batch without waiting out its window.
+
+        A no-op when no batch is forming.  Useful for tests and for
+        latency-sensitive callers that know no more traffic is coming.
+        """
+        if not self.is_running:
+            return
+        self._intake.put_nowait(_FLUSH)
+        await asyncio.sleep(0)
+
+    def map(self, requests, engine: str | None = None) -> list[SortResult]:
+        """Sort ``requests`` through the service, synchronously.
+
+        The script-friendly entry point: runs its own event loop, starts
+        the service, submits every request concurrently (throttled to
+        ``max_pending`` so admission control never rejects), and returns
+        the results in request order.  Must be called on a *stopped*
+        service -- inside a running one, use :meth:`submit`.
+        """
+        if self._started:
+            raise ServiceError(
+                "map() runs its own event loop; await submit() inside a "
+                "running service instead"
+            )
+
+        async def _run() -> list[SortResult]:
+            throttle = asyncio.Semaphore(self.config.max_pending)
+
+            async def one(request) -> SortResult:
+                async with throttle:
+                    return await self.submit(request, engine=engine)
+
+            async with self:
+                return list(
+                    await asyncio.gather(*(one(r) for r in requests))
+                )
+
+        return asyncio.run(_run())
+
+    # -- the coalescer -------------------------------------------------------
+
+    async def _coalesce(self) -> None:
+        """Form batches under the latency/size window and dispatch them."""
+        window_s = self.config.coalesce_window_ms / 1e3
+        while True:
+            first = await self._intake.get()
+            if first is _STOP:
+                return
+            if first is _FLUSH:
+                continue
+            batch = [first]
+            deadline = time.perf_counter() + window_s
+            stop = False
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(
+                        self._intake.get(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if item is _STOP:
+                    stop = True
+                    break
+                if item is _FLUSH:
+                    break
+                batch.append(item)
+            self._dispatch(batch)
+            if stop:
+                return
+
+    def _dispatch(self, tickets: list[_Ticket]) -> None:
+        """Plan and place one sealed batch onto the worker queues.
+
+        Routing failures (an unplannable shape, a cost model rejecting)
+        mark their ticket failed instead of killing the coalescer; the
+        finalizer re-raises them through the ticket's future.
+        """
+        sealed = time.perf_counter()
+        for ticket in tickets:
+            ticket.coalesce_ms = (sealed - ticket.submitted) * 1e3
+        weights: list[float] = []
+        for ticket in tickets:
+            try:
+                weights.append(self._route(ticket))
+            except BaseException as err:
+                ticket.error = err
+                weights.append(0.0)
+        runnable = [
+            (i, t) for i, t in enumerate(tickets) if t.error is None
+        ]
+        assignment = self._place(tickets, weights)
+        batch = _Batch(
+            tickets=tickets,
+            assignment=assignment,
+            completed=asyncio.Event(),
+            remaining=len(runnable),
+        )
+        self.stats.largest_batch = max(self.stats.largest_batch, len(tickets))
+        for index, ticket in runnable:
+            self._worker_queues[assignment[index]].put_nowait((ticket, batch))
+        if not runnable:
+            batch.completed.set()
+        finalizer = asyncio.create_task(self._finalize(batch))
+        self._finalizers.add(finalizer)
+        finalizer.add_done_callback(self._finalizers.discard)
+
+    def _route(self, ticket: _Ticket) -> float:
+        """Resolve one ticket's executing engine; return its LPT weight.
+
+        Un-pinned tickets go through the planner (their winning
+        :class:`~repro.planner.SortPlan` rides along and is attached to
+        the result, exactly like ``engine="auto"`` dispatch); pinned
+        tickets are priced by the pinned engine's cost model when it has
+        one, falling back to ``n`` -- relative order is all LPT needs.
+        """
+        request = ticket.request
+        if ticket.engine in (None, "auto"):
+            plan = self._planner.plan(request)
+            ticket.plan = plan
+            ticket.exec_engine = plan.engine
+            return plan.cost_ms
+        ticket.exec_engine = ticket.engine
+        model = registry.cost_model(ticket.engine)
+        if model is not None:
+            try:
+                return model.estimate(request).cost_ms
+            except Exception:
+                pass  # infeasible shapes surface at execution, as in sort()
+        values = request.values if request.values is not None else request.keys
+        return float(0 if values is None else len(values))
+
+    def _place(self, tickets: list[_Ticket], weights: list[float]) -> list[int]:
+        """LPT placement of one batch across the worker pool.
+
+        When every ticket went through the planner,
+        :meth:`~repro.planner.Planner.plan_batch` is the brain: it both
+        sizes the cluster (the smallest device count within tolerance of
+        the best predicted makespan -- idle workers stay idle for thin
+        gains) and LPT-places the requests on it.  Batches with pinned
+        engines fall back to plain
+        :meth:`~repro.cluster.scheduler.Scheduler.assign_lpt` over the
+        whole pool, since pinned requests may have no plan to weigh.
+        """
+        if all(t.plan is not None for t in tickets):
+            batch_plan = self._planner.plan_batch(
+                [t.request for t in tickets], max_devices=len(self._devices)
+            )
+            return list(batch_plan.assignment)
+        return self._scheduler.assign_lpt(weights)
+
+    # -- workers and finalization --------------------------------------------
+
+    async def _worker(self, index: int) -> None:
+        """Serve one device's queue; engines are cached per worker."""
+        queue = self._worker_queues[index]
+        engines: dict[str, object] = {}
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await queue.get()
+            if item is _STOP:
+                return
+            ticket, batch = item
+            started = time.perf_counter()
+            try:
+                engine = engines.get(ticket.exec_engine)
+                if engine is None:
+                    engine = registry.get(ticket.exec_engine)
+                    engines[ticket.exec_engine] = engine
+                request = ticket.request
+                plan = ticket.plan
+                if (
+                    plan is not None
+                    and plan.devices is not None
+                    and request.devices != plan.devices
+                ):
+                    request = dataclasses.replace(
+                        request, devices=plan.devices
+                    )
+                # Off the event loop: the sort itself is synchronous
+                # simulation code, and the loop must stay responsive for
+                # admission control and the socket server.
+                result = await loop.run_in_executor(None, engine.sort, request)
+                if plan is not None:
+                    result.plan = plan
+                result.telemetry.queue_wait_ms = (
+                    started - ticket.submitted
+                ) * 1e3
+                result.telemetry.coalesce_ms = ticket.coalesce_ms
+                ticket.result = result
+            except BaseException as err:  # resolve the future either way
+                ticket.error = err
+            finally:
+                batch.remaining -= 1
+                if batch.remaining == 0:
+                    batch.completed.set()
+
+    async def _finalize(self, batch: _Batch) -> None:
+        """Schedule the completed batch, fill telemetry, resolve futures."""
+        await batch.completed.wait()
+        done = [
+            (t, batch.assignment[i])
+            for i, t in enumerate(batch.tickets)
+            if t.result is not None
+        ]
+        if done:
+            results = [t.result for t, _d in done]
+            tasks = pipeline_tasks_for_results(
+                results, [d for _t, d in done], self._devices[0].link
+            )
+            schedule = self._scheduler.run(tasks)
+            self.stats.batches += 1
+            self.stats.service_makespan_ms += schedule.makespan_ms
+            self.stats.serialized_ms += schedule.serialized_ms
+            for result in results:
+                result.telemetry.service_makespan_ms = schedule.makespan_ms
+                self.stats.telemetry.add(result.telemetry)
+                self.stats.completed += 1
+        for ticket in batch.tickets:
+            self._pending -= 1
+            if ticket.future.done():
+                # The submitter cancelled (e.g. wait_for timeout): nothing
+                # to deliver, but the slot above is still released and the
+                # rest of the batch must resolve normally.
+                continue
+            if ticket.error is not None:
+                self.stats.failed += 1
+                ticket.future.set_exception(ticket.error)
+            else:
+                ticket.future.set_result(ticket.result)
+
+
+#: The process-default service :func:`submit` lazily starts.
+_DEFAULT: SortService | None = None
+
+
+def default_service() -> SortService | None:
+    """The process-default service, if :func:`submit` has created one."""
+    return _DEFAULT
+
+
+async def submit(request, engine: str | None = None) -> SortResult:
+    """Submit through the process-default service (started on first use).
+
+    The zero-setup entry point::
+
+        result = await repro.service.submit(request)
+
+    The default service uses a default :class:`ServiceConfig` and is bound
+    to the running event loop; a submit from a different loop replaces it
+    (the old loop's tasks died with that loop).  For configured pools,
+    construct a :class:`SortService` explicitly.
+    """
+    global _DEFAULT
+    loop = asyncio.get_running_loop()
+    service = _DEFAULT
+    if service is None or not service.is_running or service._loop is not loop:
+        # None yet, closed, or bound to a dead loop (its tasks died with
+        # that loop): start a fresh default on the running loop.
+        service = SortService()
+        await service.start()
+        _DEFAULT = service
+    return await service.submit(request, engine=engine)
+
+
+async def close_default() -> None:
+    """Close the process-default service, if any (mainly for tests)."""
+    global _DEFAULT
+    if _DEFAULT is not None:
+        service, _DEFAULT = _DEFAULT, None
+        if service.is_running:
+            await service.close()

@@ -248,7 +248,8 @@ def _scaled_cycles(scale: float, network_pass: float) -> dict[str, float]:
     return cycles
 
 
-# Calibration note (see EXPERIMENTS.md): the four fitted parameters per GPU
+# Calibration note (see benchmarks/bench_table2_geforce6800.py and
+# bench_table3_geforce7800.py): the four fitted parameters per GPU
 # below (op overhead, tiled read efficiency, cycle scale, network-pass
 # cycles) were fitted ONCE against the ten timing numbers of the paper's
 # Tables 2 and 3 at n = 2^15 and 2^20 jointly (8.4% rms); everything else

@@ -57,7 +57,7 @@ class TestHarness:
 
 
 class TestPaperShapes:
-    """The reproduction criteria of DESIGN.md E7/E8 at n = 2^16."""
+    """The reproduction criteria of experiments E7/E8 at n = 2^16."""
 
     @pytest.fixture(scope="class")
     def t2(self):
