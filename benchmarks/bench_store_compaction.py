@@ -1,0 +1,155 @@
+"""E26 -- store queries after compaction vs re-sorting per query, and the
+compaction planner's fan-in pick vs a brute-force sweep.
+
+Two claims of the store layer, measured:
+
+1.  **Compaction pays for itself.**  After ingesting 8 batches (2^18
+    pairs total) and one planner-driven compaction, a range query is
+    answered from the compacted run set >= 100x faster (wall time) than
+    the strawman that re-sorts the full ingested dataset per query --
+    while returning bit-identical answers.  This is the reason a sorted
+    *store* exists at all: ingest-time sorting is amortized across every
+    later query.
+
+2.  **The planner's fan-in is measurably right.**  On a run shape with a
+    genuine interior optimum (8 x 2048-pair runs under a 1024-pair merge
+    memory budget: wide merges thrash the per-run buffers, narrow ones
+    multiply passes), every fan-in from 2 to 8 is executed on a fresh
+    store and its *measured* compaction makespan recorded.  The fan-in
+    :func:`repro.store.plan_compaction` picks must land within 5% of the
+    brute-force minimum of those measurements.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+import repro
+from repro.store import SortedStore, plan_compaction
+
+BATCHES = 8
+BATCH_SIZE = 1 << 15
+QUERIES = 32
+WINDOW = 0.002
+REQUIRED_SPEEDUP = 100.0
+
+SWEEP_RUNS = 8
+SWEEP_RUN_PAIRS = 2048
+SWEEP_MEMORY_PAIRS = 1024
+FAN_INS = tuple(range(2, 9))
+TOLERANCE = 1.05
+
+
+def _windows(rng):
+    los = rng.uniform(0.0, 1.0 - WINDOW, size=QUERIES)
+    return [(float(lo), float(lo + WINDOW)) for lo in los]
+
+
+def test_compacted_queries_beat_resort_per_query(
+    benchmark, bench_json, tmp_path
+):
+    rng = np.random.default_rng(20060425)
+    batches = [rng.random(BATCH_SIZE, dtype=np.float32) for _ in range(BATCHES)]
+    store = SortedStore(tmp_path / "bench-store", engine="cpu-std")
+    for keys in batches:
+        store.insert(keys)
+    report = store.compact()
+    windows = _windows(rng)
+
+    def query_all():
+        return [store.range(lo, hi) for lo, hi in windows]
+
+    answers = benchmark.pedantic(query_all, rounds=1, iterations=1)
+    start = time.perf_counter()
+    query_all()
+    store_s = time.perf_counter() - start
+
+    # The strawman: no store -- every query re-sorts the full dataset.
+    all_keys = np.concatenate(batches)
+    start = time.perf_counter()
+    baseline = []
+    for lo, hi in windows:
+        values = repro.sort(
+            repro.SortRequest(keys=all_keys), engine="cpu-std"
+        ).values
+        a = int(np.searchsorted(values["key"], lo, side="left"))
+        b = int(np.searchsorted(values["key"], hi, side="right"))
+        baseline.append(values[a:b])
+    baseline_s = time.perf_counter() - start
+
+    for got, want in zip(answers, baseline):
+        assert np.array_equal(got, want)
+
+    speedup = baseline_s / store_s
+    rows = {
+        "ingested_pairs": BATCHES * BATCH_SIZE,
+        "queries": QUERIES,
+        "window": WINDOW,
+        "compaction": report.summary(),
+        "store_query_us": store_s / QUERIES * 1e6,
+        "resort_query_us": baseline_s / QUERIES * 1e6,
+        "speedup": speedup,
+    }
+    bench_json(**rows)
+    print(f"\n{QUERIES} range queries over {BATCHES * BATCH_SIZE} pairs:")
+    print(f"  compacted store: {rows['store_query_us']:9.1f} us/query")
+    print(f"  re-sort per query: {rows['resort_query_us']:9.1f} us/query")
+    print(f"  speedup: {speedup:.0f}x (required >= {REQUIRED_SPEEDUP:.0f}x)")
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"compacted-query speedup {speedup:.1f}x below the "
+        f"{REQUIRED_SPEEDUP}x acceptance bar"
+    )
+
+
+def test_planner_fan_in_within_5pct_of_bruteforce(benchmark, bench_json, tmp_path):
+    rng = np.random.default_rng(20060425)
+    batches = [
+        rng.random(SWEEP_RUN_PAIRS, dtype=np.float32) for _ in range(SWEEP_RUNS)
+    ]
+
+    def measure(fan_in: int) -> float:
+        store = SortedStore(
+            tmp_path / f"sweep-f{fan_in}",
+            engine="cpu-std",
+            memory_pairs=SWEEP_MEMORY_PAIRS,
+        )
+        for keys in batches:
+            store.insert(keys)
+        return store.compact(fan_in=fan_in, devices=1).makespan_ms
+
+    measured = benchmark.pedantic(
+        lambda: {f: measure(f) for f in FAN_INS}, rounds=1, iterations=1
+    )
+    plan = plan_compaction(
+        [SWEEP_RUN_PAIRS] * SWEEP_RUNS,
+        memory_pairs=SWEEP_MEMORY_PAIRS,
+        max_fan_in=max(FAN_INS),
+        max_devices=1,
+    )
+    best_fan_in = min(measured, key=measured.get)
+    chosen_ms = measured[plan.fan_in]
+    best_ms = measured[best_fan_in]
+    rows = {
+        "run_lengths": [SWEEP_RUN_PAIRS] * SWEEP_RUNS,
+        "memory_pairs": SWEEP_MEMORY_PAIRS,
+        "measured_ms_by_fan_in": {str(f): ms for f, ms in measured.items()},
+        "planner_fan_in": plan.fan_in,
+        "bruteforce_fan_in": best_fan_in,
+        "planner_ms": chosen_ms,
+        "bruteforce_ms": best_ms,
+    }
+    bench_json(**rows)
+    print(f"\nmeasured compaction makespan by fan-in ({SWEEP_RUNS} x "
+          f"{SWEEP_RUN_PAIRS} pairs, {SWEEP_MEMORY_PAIRS}-pair budget):")
+    for fan_in, ms in sorted(measured.items()):
+        marks = ("  <- planner" if fan_in == plan.fan_in else "") + (
+            "  <- brute-force min" if fan_in == best_fan_in else ""
+        )
+        print(f"  fan-in {fan_in}: {ms:8.2f} ms{marks}")
+    assert chosen_ms <= TOLERANCE * best_ms, (
+        f"planner's fan-in {plan.fan_in} costs {chosen_ms:.2f} ms; "
+        f"brute-force minimum is fan-in {best_fan_in} at {best_ms:.2f} ms "
+        f"(> 5% off)"
+    )

@@ -9,7 +9,8 @@ A full reimplementation of
 
 on a software-simulated stream machine.  See README.md for a tour and the
 ``docs/`` site for the layer map (docs/architecture.md), the service
-guide (docs/service.md), and runnable recipes (docs/cookbook.md).
+guide (docs/service.md), the persistent store guide (docs/store.md),
+and runnable recipes (docs/cookbook.md).
 
 Quick start (the unified engine API)::
 
@@ -40,6 +41,7 @@ from repro.errors import (
     ModelError,
     ReproError,
     SortInputError,
+    StoreError,
     StreamError,
     SubstreamError,
 )
@@ -54,7 +56,7 @@ from repro.core.api import (
 )
 from repro.core.abisort import GPUABiSorter
 from repro.core.optimized import OptimizedGPUABiSorter
-from repro import cluster, engines, planner, service
+from repro import cluster, engines, planner, service, store
 from repro.engines import (
     BatchResult,
     EngineCapabilities,
@@ -67,6 +69,7 @@ from repro.engines import (
 )
 from repro.planner import BatchPlan, Planner, SortPlan
 from repro.service import ServiceConfig, SortService
+from repro.store import SortedStore, StoreConfig
 
 
 def plan(request, **kwargs):
@@ -86,7 +89,7 @@ def plan(request, **kwargs):
     return chosen.plan(_as_request(request))
 
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ReproError",
@@ -98,6 +101,7 @@ __all__ = [
     "EngineError",
     "CapabilityError",
     "ModelError",
+    "StoreError",
     "VALUE_DTYPE",
     "NODE_DTYPE",
     "PQ_DTYPE",
@@ -113,8 +117,11 @@ __all__ = [
     "cluster",
     "planner",
     "service",
+    "store",
     "SortService",
     "ServiceConfig",
+    "SortedStore",
+    "StoreConfig",
     "SortEngine",
     "SortRequest",
     "SortResult",

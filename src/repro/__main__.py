@@ -7,6 +7,7 @@ Commands
 ``plan``      explain the cost-model planner's decision for a request
 ``cluster``   sharded sort across N modeled devices with overlap pipeline
 ``serve``     run the async sort service over a newline-delimited-JSON socket
+``store``     persistent sorted store: insert/query/topk/compact/stats
 ``backends``  list the registered sort engines with their capability flags
 ``figures``   regenerate the paper's Figures 1 and 4-7 as text
 ``table2``    regenerate Table 2 (GeForce 6800 / AGP) with its plot
@@ -26,6 +27,9 @@ Examples::
     python -m repro plan --n 65536 --gpu 6800
     python -m repro cluster --n 65536 --devices 4 --gpu 7800
     python -m repro serve --port 7806 --devices 4
+    python -m repro store insert --path /tmp/demo-store --n 4096
+    python -m repro store query --path /tmp/demo-store --lo 0.25 --hi 0.75
+    python -m repro store compact --path /tmp/demo-store --explain
     python -m repro figures 6
     python -m repro table2 --sizes 4096 16384 65536
     python -m repro ops --n 4096 --engine periodic-balanced
@@ -225,6 +229,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # asyncio.run before serve_forever can return it) still leaves a
     # handle for the final stats report.
     service = SortService(config)
+    store = None
+    if args.store is not None:
+        from repro.store import SortedStore
+
+        store = SortedStore(args.store, gpu=gpu, host=host_model)
     try:
         asyncio.run(
             serve_forever(
@@ -234,11 +243,63 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 limit=args.limit,
                 on_ready=on_ready,
                 service=service,
+                store=store,
             )
         )
     except KeyboardInterrupt:
         print("interrupted")
     print(format_service_stats(service.stats))
+    if store is not None:
+        from repro.analysis.cluster_report import format_store_stats
+
+        print(format_store_stats(store.stats))
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """``store``: operate a persistent sorted store directory.
+
+    Sub-actions: ``insert`` persists a generated workload as one sorted
+    run, ``query`` answers a key range, ``topk`` the k smallest pairs,
+    ``compact`` runs a (planner-driven by default) compaction, and
+    ``stats`` prints the lifetime telemetry.  The directory is created on
+    first use and reopened -- exactly as last committed -- afterwards.
+    """
+    from repro.analysis.cluster_report import format_store_stats
+    from repro.store import SortedStore
+
+    store = SortedStore(args.path)
+    if args.action == "insert":
+        keys = generate_keys(args.dist, args.n, seed=args.seed)
+        meta = store.insert(keys, engine=args.engine)
+        print(
+            f"inserted {args.n} pairs ({args.dist}, seed {args.seed}) as "
+            f"{meta.name} [{meta.min_key:.4f}, {meta.max_key:.4f}]; "
+            f"store now {store.run_count} runs / {len(store)} pairs"
+        )
+    elif args.action == "query":
+        hits = store.range(args.lo, args.hi)
+        shown = ", ".join(f"{k:.4f}" for k in hits["key"][:8])
+        more = "..." if hits.shape[0] > 8 else ""
+        print(
+            f"range [{args.lo}, {args.hi}]: {hits.shape[0]} pairs "
+            f"from {store.run_count} runs: {shown}{more}"
+        )
+    elif args.action == "topk":
+        hits = store.top_k(args.k)
+        shown = ", ".join(f"{k:.4f}" for k in hits["key"][:8])
+        more = "..." if hits.shape[0] > 8 else ""
+        print(f"top {args.k}: {hits.shape[0]} pairs: {shown}{more}")
+    elif args.action == "compact":
+        if args.explain and store.run_count >= 2:
+            print(store.compaction_plan().explain())
+        report = store.compact(fan_in=args.fan_in, devices=args.devices)
+        if report is None:
+            print(f"nothing to compact ({store.run_count} run(s))")
+        else:
+            print(report.summary())
+    else:  # stats
+        print(format_store_stats(store.stats, title=f"store {args.path}"))
     return 0
 
 
@@ -539,7 +600,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 256)")
     p_srv.add_argument("--limit", type=int, default=None,
                        help="exit after this many responses (smoke tests)")
+    p_srv.add_argument("--store", default=None, metavar="DIR",
+                       help="attach a persistent SortedStore directory "
+                            "(enables the {\"op\": \"store\"} wire lines)")
     p_srv.set_defaults(func=cmd_serve)
+
+    p_store = sub.add_parser(
+        "store", help="persistent sorted store: insert/query/compact/stats"
+    )
+    store_sub = p_store.add_subparsers(dest="action", required=True)
+    st_ins = store_sub.add_parser("insert", help="sort one batch into a run")
+    st_ins.add_argument("--n", type=int, default=1 << 12)
+    st_ins.add_argument("--dist", choices=sorted(DISTRIBUTIONS),
+                        default="uniform")
+    st_ins.add_argument("--seed", type=int, default=0)
+    st_ins.add_argument("--engine", default=None,
+                        help="backend for the ingest sort (default: the "
+                             "store's engine, normally the planner)")
+    st_q = store_sub.add_parser("query", help="answer a key-range query")
+    st_q.add_argument("--lo", type=float, required=True)
+    st_q.add_argument("--hi", type=float, required=True)
+    st_k = store_sub.add_parser("topk", help="the k smallest pairs")
+    st_k.add_argument("--k", type=int, default=10)
+    st_c = store_sub.add_parser("compact", help="merge runs down")
+    st_c.add_argument("--fan-in", type=int, default=None, dest="fan_in",
+                      help="pin the merge fan-in (default: planner's pick)")
+    st_c.add_argument("--devices", type=int, default=None,
+                      help="pin the device count (default: planner's pick)")
+    st_c.add_argument("--explain", action="store_true",
+                      help="print the planner's scored candidates first")
+    store_sub.add_parser("stats", help="lifetime telemetry of the store")
+    for sp in (st_ins, st_q, st_k, st_c, store_sub.choices["stats"]):
+        sp.add_argument("--path", required=True,
+                        help="store directory (created on first use)")
+    p_store.set_defaults(func=cmd_store)
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("which", nargs="?", default="all",

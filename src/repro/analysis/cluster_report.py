@@ -9,7 +9,8 @@ critical-path makespan, host merge time, and the speedup against running
 the same stages with no overlap and no device parallelism.
 :func:`format_service_stats` gives the matching lifetime report for a
 :class:`repro.service.ServiceStats` record (``python -m repro serve``
-prints it on shutdown).
+prints it on shutdown), and :func:`format_store_stats` the one for a
+:class:`repro.store.StoreStats` record (``python -m repro store stats``).
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ __all__ = [
     "format_cluster_schedule",
     "format_sharded_result",
     "format_service_stats",
+    "format_store_stats",
 ]
 
 
@@ -112,4 +114,49 @@ def format_service_stats(stats, title: str = "service stats") -> str:
             f"(coalesce {t.coalesce_ms:.1f} ms) over {t.requests} requests"
         )
         lines.append("  aggregate telemetry: " + t.summary())
+    return "\n".join(lines)
+
+
+def format_store_stats(stats, title: str = "store stats") -> str:
+    """Lifetime report for one :class:`repro.store.StoreStats` record.
+
+    The manifest shape (runs, levels, live pairs), ingest and query
+    volume with cache effectiveness, compaction activity with the
+    measured-vs-predicted makespans, and the LSM health numbers -- write
+    and read amplification priced by the store's modeled disk.
+    """
+    lines = [title + ":"] if title else []
+    lines.append(
+        f"  runs: {stats.runs} live in {stats.levels} level(s), "
+        f"{stats.live_pairs} pairs"
+    )
+    lines.append(
+        f"  ingest: {stats.ingested_pairs} pairs in {stats.ingested_runs} "
+        f"batches, modeled sort {stats.ingest_modeled_ms:.2f} ms"
+    )
+    if stats.queries:
+        lookups = stats.cache_hits + stats.cache_misses
+        rate = stats.cache_hits / lookups if lookups else 0.0
+        lines.append(
+            f"  queries: {stats.queries} answered, {stats.query_pairs} pairs "
+            f"returned, cache hit rate {rate:.0%} "
+            f"({stats.cache_hits}/{lookups})"
+        )
+        lines.append(
+            f"  read amplification {stats.read_amplification:.2f}x "
+            f"({stats.query_read_bytes} disk bytes for "
+            f"{stats.query_pairs * 8} returned)"
+        )
+    if stats.compactions:
+        lines.append(
+            f"  compactions: {stats.compactions} ({stats.compaction_passes} "
+            f"passes, {stats.merge_comparisons} comparisons), modeled "
+            f"makespan {stats.compaction_makespan_ms:.2f} ms "
+            f"(predicted {stats.compaction_predicted_ms:.2f} ms)"
+        )
+    lines.append(
+        f"  modeled disk: {stats.bytes_written} B written, "
+        f"{stats.bytes_read} B read, {stats.seeks} seeks; "
+        f"write amplification {stats.write_amplification:.2f}x"
+    )
     return "\n".join(lines)

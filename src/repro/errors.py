@@ -21,6 +21,9 @@ the layers of the system:
 * :class:`ServiceError` / :class:`ServiceOverloadError` -- problems at the
   :mod:`repro.service` layer (misuse of a stopped service; admission
   control rejecting a request because the service is saturated).
+* :class:`StoreError` -- problems at the :mod:`repro.store` layer (a
+  corrupt or unreadable manifest, a run file that does not match its
+  manifest record).
 """
 
 from __future__ import annotations
@@ -114,3 +117,14 @@ class ServiceOverloadError(ServiceError):
         super().__init__(message)
         #: Suggested client back-off before resubmitting, in milliseconds.
         self.retry_after_ms = retry_after_ms
+
+
+class StoreError(ReproError):
+    """A problem at the :mod:`repro.store` persistence layer.
+
+    Raised when a store directory cannot be recovered: the manifest is
+    missing a field, carries an unknown format version, or references a
+    run file whose on-disk size disagrees with its recorded length.
+    Invalid *queries* (bad ranges, negative k) raise the usual
+    :class:`SortInputError` instead.
+    """

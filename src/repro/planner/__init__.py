@@ -10,7 +10,9 @@ the registered backends, ``engine="auto"`` (the default) builds a
 * :mod:`repro.planner.calibration` -- probe-based calibration of the
   stream engines' ``n -> modeled ms`` cost curves;
 * :mod:`repro.planner.models` -- the built-in
-  :class:`~repro.engines.cost.CostModel` per backend family;
+  :class:`~repro.engines.cost.CostModel` per backend family, plus the
+  :class:`CompactionCostModel` that prices ``repro.store`` compactions
+  and :func:`plan_compaction` which picks their (fan-in, devices);
 * :mod:`repro.planner.planner` -- the :class:`Planner` (enumerate ->
   score -> pick), the shape-keyed LRU :class:`PlanCache`, and batch
   (LPT) placement.
@@ -40,6 +42,12 @@ from repro.planner.calibration import (
     calibrate_stream_engine,
     clear_calibrations,
 )
+from repro.planner.models import (
+    CompactionCandidate,
+    CompactionCostModel,
+    CompactionPlan,
+    plan_compaction,
+)
 from repro.planner.planner import (
     BatchPlan,
     PlanCache,
@@ -59,4 +67,8 @@ __all__ = [
     "CostCurve",
     "calibrate_stream_engine",
     "clear_calibrations",
+    "CompactionCostModel",
+    "CompactionCandidate",
+    "CompactionPlan",
+    "plan_compaction",
 ]

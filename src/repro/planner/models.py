@@ -33,9 +33,21 @@ ABiSort variants, networks  calibrated stream cost curve
 :func:`builtin_cost_model` maps a registered engine instance to its model;
 :func:`repro.engines.registry.cost_model` consults it after the engine's
 own :attr:`~repro.engines.base.SortEngine.cost_model` hook.
+
+The module also hosts :class:`CompactionCostModel` /
+:func:`plan_compaction`: the :mod:`repro.store` layer's planner for
+merging a set of sorted runs.  It is not an engine cost model (there is
+no :class:`~repro.engines.base.SortRequest` to price) but it composes
+the same primitives -- the closed-form loser-tree merge count, the
+:class:`~repro.hybrid.disk.DiskStats` seek/bandwidth model the
+:class:`ExternalCostModel` uses, and the cluster's LPT scheduler -- so
+store compaction is scored by exactly the cost conventions the rest of
+the planner follows.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -44,12 +56,18 @@ from repro.analysis.complexity import (
     loser_tree_merge_comparisons,
 )
 from repro.engines.cost import CostEstimate, CostModel
+from repro.errors import ModelError
 from repro.planner.calibration import (
     ANCHOR_EXPONENTS,
     PROBE_SEED,
     calibrate_stream_engine,
 )
-from repro.stream.gpu_model import cpu_sort_time_ms, transfer_round_trip_ms
+from repro.stream.gpu_model import (
+    PCIE_SYSTEM,
+    HostSystem,
+    cpu_sort_time_ms,
+    transfer_round_trip_ms,
+)
 
 __all__ = [
     "StreamCostModel",
@@ -58,6 +76,10 @@ __all__ = [
     "StdSortCostModel",
     "TransitionCostModel",
     "ExternalCostModel",
+    "CompactionCostModel",
+    "CompactionCandidate",
+    "CompactionPlan",
+    "plan_compaction",
     "builtin_cost_model",
 ]
 
@@ -300,6 +322,215 @@ class ExternalCostModel(CostModel):
             modeled_cpu_ms=cpu_ms,
             modeled_io_ms=stats.io_time_ms(),
         )
+
+
+#: Pairs a compaction merge may hold in memory at once.  The budget is
+#: split over the k input cursors plus the output cursor, so larger
+#: fan-in means smaller per-run buffers and more refill seeks -- the
+#: classic external-merge fan-in tradeoff the planner optimizes.
+COMPACTION_MEMORY_PAIRS = 1 << 10
+
+
+class CompactionCostModel:
+    """Modeled cost of merging sorted runs down to one, LSM style.
+
+    A compaction at fan-in f repeatedly groups the live runs (sorted by
+    length, ascending) into batches of at most f, merges each batch with
+    a loser tree, and repeats on the merged outputs until one run
+    remains.  Per merge group of runs summing to m pairs:
+
+    * **CPU**: the closed-form loser-tree count
+      (:func:`~repro.analysis.complexity.loser_tree_merge_comparisons`),
+      priced by :func:`~repro.stream.gpu_model.cpu_sort_time_ms` -- the
+      exact convention :class:`~repro.hybrid.external.LoserTree` counts,
+      so prediction equals measurement when all runs are non-empty.
+    * **I/O**: every pair is read once and written once; seeks follow
+      the :class:`~repro.hybrid.external.ExternalSorter` streaming
+      pattern with per-cursor buffers of ``memory_pairs // (k + 1)``
+      pairs (one refill seek per buffer of input, one flush seek per
+      buffer of output), priced by
+      :meth:`~repro.hybrid.disk.DiskStats.io_time_ms`.
+
+    Groups within one pass are independent, so a pass's makespan is the
+    max device load under the cluster's deterministic LPT placement
+    (:meth:`~repro.cluster.scheduler.Scheduler.assign_lpt`) -- each
+    modeled device streams its groups from its own disk, exactly as the
+    sharded sorter assumes per-device buses.  The estimate's
+    ``makespan_ms`` sums the per-pass makespans.
+    """
+
+    def __init__(
+        self,
+        host: HostSystem = PCIE_SYSTEM,
+        memory_pairs: int = COMPACTION_MEMORY_PAIRS,
+    ):
+        if memory_pairs < 2:
+            raise ModelError(
+                f"compaction needs a memory budget >= 2 pairs, got {memory_pairs}"
+            )
+        self.host = host
+        self.memory_pairs = memory_pairs
+
+    def group_seeks(self, lengths) -> int:
+        """Seeks one merge group pays under the buffered streaming model."""
+        k = len(lengths)
+        total = sum(lengths)
+        buffer = max(1, self.memory_pairs // (k + 1))
+        refills = sum(-(-length // buffer) for length in lengths)
+        flushes = -(-total // buffer)
+        return refills + flushes
+
+    def group_estimate(self, lengths) -> CostEstimate:
+        """Cost of one k-way merge group (k = 1 is a carry: free)."""
+        from repro.hybrid.disk import DiskStats
+
+        k = len(lengths)
+        total = int(sum(lengths))
+        if k < 2 or total == 0:
+            return CostEstimate()
+        comparisons = loser_tree_merge_comparisons(total, k)
+        stats = DiskStats(
+            reads=k,
+            writes=1,
+            seeks=self.group_seeks(lengths),
+            bytes_read=total * PAIR_BYTES,
+            bytes_written=total * PAIR_BYTES,
+        )
+        return CostEstimate(
+            modeled_cpu_ms=cpu_sort_time_ms(comparisons, self.host),
+            modeled_io_ms=stats.io_time_ms(),
+        )
+
+    def passes(self, run_lengths, fan_in: int) -> list[list[list[int]]]:
+        """The deterministic pass/group structure a compaction executes.
+
+        Each pass groups the surviving lengths (ascending) into chunks of
+        at most ``fan_in``; singleton groups carry through unmerged.  The
+        executor in :mod:`repro.store.compaction` groups the *runs* the
+        same way (ascending length, ties by run name), so modeled and
+        executed group shapes are identical.
+        """
+        if fan_in < 2:
+            raise ModelError(f"compaction fan-in must be >= 2, got {fan_in}")
+        lengths = sorted(int(length) for length in run_lengths if int(length) > 0)
+        structure: list[list[list[int]]] = []
+        while len(lengths) > 1:
+            groups = [
+                lengths[i : i + fan_in] for i in range(0, len(lengths), fan_in)
+            ]
+            structure.append(groups)
+            lengths = sorted(sum(group) for group in groups)
+        return structure
+
+    def estimate(self, run_lengths, *, fan_in: int, devices: int = 1) -> CostEstimate:
+        """Full-compaction cost at one (fan-in, device-count) point."""
+        from repro.cluster.device import make_devices
+        from repro.cluster.scheduler import Scheduler
+
+        if devices < 1:
+            raise ModelError(f"compaction needs >= 1 device, got {devices}")
+        scheduler = Scheduler(make_devices(devices, host=self.host))
+        cpu_ms = io_ms = makespan_ms = 0.0
+        for groups in self.passes(run_lengths, fan_in):
+            estimates = [self.group_estimate(group) for group in groups]
+            weights = [e.cost_ms for e in estimates]
+            loads = {d: 0.0 for d in range(devices)}
+            for weight, device in zip(weights, scheduler.assign_lpt(weights)):
+                loads[device] += weight
+            makespan_ms += max(loads.values())
+            cpu_ms += sum(e.modeled_cpu_ms for e in estimates)
+            io_ms += sum(e.modeled_io_ms for e in estimates)
+        return CostEstimate(
+            modeled_cpu_ms=cpu_ms,
+            modeled_io_ms=io_ms,
+            makespan_ms=makespan_ms,
+            devices=devices,
+        )
+
+
+@dataclass(frozen=True)
+class CompactionCandidate:
+    """One scored (fan-in, devices) point of a compaction plan."""
+
+    fan_in: int
+    devices: int
+    estimate: CostEstimate
+
+    @property
+    def cost_ms(self) -> float:
+        """The scalar the compaction planner minimises."""
+        return self.estimate.cost_ms
+
+
+@dataclass(frozen=True)
+class CompactionPlan:
+    """The compaction planner's decision, with its scored alternatives."""
+
+    run_lengths: tuple[int, ...]
+    fan_in: int
+    devices: int
+    estimate: CostEstimate
+    candidates: tuple[CompactionCandidate, ...]
+
+    @property
+    def cost_ms(self) -> float:
+        """Predicted makespan of the chosen (fan-in, devices) point."""
+        return self.estimate.cost_ms
+
+    def explain(self) -> str:
+        """Human-readable plan: every candidate scored, the winner starred."""
+        lines = [
+            f"compaction of {len(self.run_lengths)} runs "
+            f"({sum(self.run_lengths)} pairs): fan-in {self.fan_in} on "
+            f"{self.devices} device(s), predicted {self.cost_ms:.3f} ms"
+        ]
+        for cand in sorted(self.candidates, key=lambda c: c.cost_ms):
+            star = "*" if (cand.fan_in, cand.devices) == (self.fan_in, self.devices) else " "
+            e = cand.estimate
+            lines.append(
+                f"  {star} fan-in {cand.fan_in} x {cand.devices} dev: "
+                f"{cand.cost_ms:9.3f} ms "
+                f"(cpu {e.modeled_cpu_ms:.3f} + io {e.modeled_io_ms:.3f})"
+            )
+        return "\n".join(lines)
+
+
+def plan_compaction(
+    run_lengths,
+    *,
+    host: HostSystem = PCIE_SYSTEM,
+    memory_pairs: int = COMPACTION_MEMORY_PAIRS,
+    max_fan_in: int = 8,
+    max_devices: int = 4,
+) -> CompactionPlan:
+    """Score every (fan-in, devices) candidate and pick the cheapest.
+
+    Enumerates fan-in 2..min(max_fan_in, live runs) crossed with device
+    counts 1..max_devices, scores each with :class:`CompactionCostModel`,
+    and picks the minimum predicted cost (ties prefer fewer devices, then
+    smaller fan-in -- extra devices that do not move the makespan are not
+    worth occupying).  Raises :class:`~repro.errors.ModelError` with
+    fewer than two non-empty runs: there is nothing to compact.
+    """
+    live = tuple(sorted(int(length) for length in run_lengths if int(length) > 0))
+    if len(live) < 2:
+        raise ModelError(
+            f"compaction needs at least two non-empty runs, got {len(live)}"
+        )
+    model = CompactionCostModel(host=host, memory_pairs=memory_pairs)
+    candidates = tuple(
+        CompactionCandidate(f, d, model.estimate(live, fan_in=f, devices=d))
+        for f in range(2, min(max_fan_in, len(live)) + 1)
+        for d in range(1, max_devices + 1)
+    )
+    best = min(candidates, key=lambda c: (c.cost_ms, c.devices, c.fan_in))
+    return CompactionPlan(
+        run_lengths=live,
+        fan_in=best.fan_in,
+        devices=best.devices,
+        estimate=best.estimate,
+        candidates=candidates,
+    )
 
 
 def builtin_cost_model(name: str, engine) -> CostModel | None:

@@ -10,7 +10,15 @@ Request lines
     the service default, normally the planner), and ``"id"`` (an opaque
     tag echoed back, for matching pipelined responses).  Control lines:
     ``{"op": "stats"}`` returns the running :class:`ServiceStats` fields,
-    ``{"op": "ping"}`` returns ``{"ok": true}``.
+    ``{"op": "ping"}`` returns ``{"ok": true}``.  When the server was
+    started with a :class:`repro.store.SortedStore` attached
+    (``python -m repro serve --store DIR``), ``{"op": "store", "action":
+    ...}`` lines reach it: ``"insert"`` (with ``"keys"``) persists a
+    batch as a new run, ``"query"`` (with ``"lo"``/``"hi"``) answers a
+    range, ``"topk"`` (with ``"k"``) the k smallest, ``"compact"``
+    (optional ``"fan_in"``/``"devices"``) runs a compaction, and
+    ``"stats"`` returns the :class:`repro.store.StoreStats` fields.
+    Store lines on a server without a store get an ``"error"`` line.
 
 Response lines
     ``{"id": ..., "engine": "...", "n": 5, "keys": [...], "ids": [...],
@@ -82,12 +90,82 @@ def _parse_request(message: dict, config) -> tuple[SortRequest, str | None]:
     return request, message.get("engine")
 
 
-async def _serve_line(service: SortService, message: dict) -> dict:
+async def _serve_store(store, message: dict) -> dict:
+    """Serve one ``{"op": "store"}`` line against the attached store.
+
+    Store calls are blocking file work, so they run in the default
+    executor -- the event loop keeps serving sort lines while a store
+    insert or compaction is on disk.
+    """
+    if store is None:
+        raise ReproError("no store attached (start the server with --store)")
+    action = message.get("action")
+    loop = asyncio.get_running_loop()
+    if action == "insert":
+        if "keys" not in message:
+            raise ReproError('store inserts need a "keys" array')
+        keys = np.asarray(message["keys"], dtype=np.float32)
+        meta = await loop.run_in_executor(
+            None, lambda: store.insert(keys, engine=message.get("engine"))
+        )
+        return {
+            "run": None if meta is None else meta.to_json(),
+            "runs": store.run_count,
+            "pairs": len(store),
+        }
+    if action == "query":
+        if "lo" not in message or "hi" not in message:
+            raise ReproError('store queries need "lo" and "hi"')
+        hits = await loop.run_in_executor(
+            None, lambda: store.range(message["lo"], message["hi"])
+        )
+        return {
+            "n": int(hits.shape[0]),
+            "keys": [float(k) for k in hits["key"]],
+            "ids": [int(i) for i in hits["id"]],
+        }
+    if action == "topk":
+        if "k" not in message:
+            raise ReproError('store topk needs "k"')
+        hits = await loop.run_in_executor(None, lambda: store.top_k(message["k"]))
+        return {
+            "n": int(hits.shape[0]),
+            "keys": [float(k) for k in hits["key"]],
+            "ids": [int(i) for i in hits["id"]],
+        }
+    if action == "compact":
+        def compact():
+            return store.compact(
+                fan_in=message.get("fan_in"), devices=message.get("devices")
+            )
+
+        report = await loop.run_in_executor(None, compact)
+        if report is None:
+            return {"compacted": False, "runs": store.run_count}
+        return {
+            "compacted": True,
+            "fan_in": report.fan_in,
+            "devices": report.devices,
+            "passes": report.passes,
+            "runs": store.run_count,
+            "makespan_ms": report.makespan_ms,
+            "predicted_ms": report.predicted_ms,
+        }
+    if action == "stats":
+        return store.stats.to_json()
+    raise ReproError(f"unknown store action {action!r}")
+
+
+async def _serve_line(service: SortService, message: dict, store=None) -> dict:
     """Serve one parsed request line, returning the response object."""
     tag = message.get("id")
     try:
         if message.get("op") == "ping":
             return {"id": tag, "ok": True}
+        if message.get("op") == "store":
+            response = await _serve_store(store, message)
+            response["id"] = tag
+            return response
         if message.get("op") == "stats":
             stats = service.stats
             return {
@@ -134,6 +212,7 @@ async def start_server(
     *,
     limit: int | None = None,
     done: asyncio.Event | None = None,
+    store=None,
 ) -> asyncio.AbstractServer:
     """Bind ``service`` to a TCP socket (``port=0`` picks a free port).
 
@@ -141,8 +220,9 @@ async def start_server(
     ``server.sockets[0].getsockname()[1]``.  ``limit`` sets ``done`` (if
     given) after that many responses have been written -- the hook
     :func:`serve_forever` and the tests use to stop a server
-    deterministically.  The caller owns both the server and the service
-    lifecycles.
+    deterministically.  ``store`` (a :class:`repro.store.SortedStore`)
+    enables the ``{"op": "store"}`` protocol lines.  The caller owns the
+    server, service, and store lifecycles.
     """
     served = 0
 
@@ -153,7 +233,7 @@ async def start_server(
 
         async def respond(message: dict) -> None:
             nonlocal served
-            response = await _serve_line(service, message)
+            response = await _serve_line(service, message, store)
             async with write_lock:
                 writer.write((json.dumps(response) + "\n").encode())
                 await writer.drain()
@@ -204,6 +284,7 @@ async def serve_forever(
     limit: int | None = None,
     on_ready=None,
     service: SortService | None = None,
+    store=None,
 ) -> "SortService":
     """Run a service-backed NDJSON server until cancelled (or ``limit``).
 
@@ -214,15 +295,16 @@ async def serve_forever(
     task is cancelled -- or, with ``limit``, until that many responses
     have been written (the CLI's ``--limit`` smoke/testing hook).
     ``on_ready(port)`` is called once the socket is bound (the CLI prints
-    the listening line from it).  Returns the (closed) service so callers
-    can inspect its final stats.
+    the listening line from it).  ``store`` attaches a
+    :class:`repro.store.SortedStore` for ``{"op": "store"}`` lines.
+    Returns the (closed) service so callers can inspect its final stats.
     """
     if service is None:
         service = SortService(config)
     await service.start()
     stop = asyncio.Event()
     server = await start_server(
-        service, host, port, limit=limit, done=stop
+        service, host, port, limit=limit, done=stop, store=store
     )
     try:
         bound = server.sockets[0].getsockname()[1]

@@ -1,0 +1,153 @@
+"""The store manifest: crash-safe JSON metadata for a run directory.
+
+A :class:`~repro.store.store.SortedStore` directory holds immutable run
+files plus one ``MANIFEST.json`` describing them.  The manifest is the
+single source of truth: a run file exists *logically* iff the manifest
+lists it, and every mutation (ingest, compaction pass) writes the whole
+manifest to a temporary file and ``os.replace``s it into place -- the
+same write-temp-then-rename discipline journaling stores use, so a crash
+at any instant leaves either the old manifest or the new one, never a
+torn file.  Run files not referenced by the manifest are crash leftovers
+and are swept on open (:meth:`~repro.store.store.SortedStore` recovery).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import StoreError
+
+__all__ = ["MANIFEST_NAME", "MANIFEST_FORMAT", "RunMeta", "StoreManifest"]
+
+#: File name of the manifest inside a store directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: On-disk format version this code reads and writes.
+MANIFEST_FORMAT = 1
+
+#: Suffix of run data files (see :mod:`repro.store.runs`).
+RUN_SUFFIX = ".run"
+
+#: Suffix of in-flight temporary files (never valid after a clean write).
+TMP_SUFFIX = ".tmp"
+
+
+@dataclass(frozen=True)
+class RunMeta:
+    """One immutable sorted run, as the manifest records it.
+
+    ``generation`` counts how many compactions produced the run (0 for a
+    freshly ingested batch; a merge's output is one past its oldest-
+    generation input), so the distinct generations are the store's
+    levels.  ``min_key`` / ``max_key`` bound the run's keys and let
+    queries prune runs without touching their files.
+    """
+
+    name: str
+    n: int
+    generation: int
+    min_key: float
+    max_key: float
+
+    def to_json(self) -> dict:
+        """The manifest's JSON record for this run."""
+        return {
+            "name": self.name,
+            "n": self.n,
+            "generation": self.generation,
+            "min_key": self.min_key,
+            "max_key": self.max_key,
+        }
+
+    @classmethod
+    def from_json(cls, record: dict) -> "RunMeta":
+        """Rebuild a run record from its manifest JSON form."""
+        try:
+            return cls(
+                name=str(record["name"]),
+                n=int(record["n"]),
+                generation=int(record["generation"]),
+                min_key=float(record["min_key"]),
+                max_key=float(record["max_key"]),
+            )
+        except (KeyError, TypeError, ValueError) as err:
+            raise StoreError(f"malformed manifest run record {record!r}") from err
+
+
+@dataclass
+class StoreManifest:
+    """All persistent metadata of one store directory.
+
+    ``next_run_id`` monotonically names runs (ids are never reused, so a
+    crash-leftover file can never collide with a later run), and
+    ``ingested_pairs`` counts every pair ever inserted -- it drives the
+    globally increasing default ids that make the store's content
+    bit-identical to one big :func:`repro.sort` of everything ingested.
+    """
+
+    runs: list[RunMeta] = field(default_factory=list)
+    next_run_id: int = 0
+    ingested_pairs: int = 0
+
+    def new_run_name(self, generation: int) -> str:
+        """Mint the next run file name (consumes one run id)."""
+        name = f"run-{self.next_run_id:06d}-g{generation}{RUN_SUFFIX}"
+        self.next_run_id += 1
+        return name
+
+    @property
+    def live_pairs(self) -> int:
+        """Pairs currently queryable (sum over live runs)."""
+        return sum(run.n for run in self.runs)
+
+    @property
+    def levels(self) -> int:
+        """Distinct run generations currently live."""
+        return len({run.generation for run in self.runs})
+
+    def save(self, root: Path) -> None:
+        """Atomically write the manifest into ``root``.
+
+        Writes ``MANIFEST.json.tmp`` then ``os.replace``s it over the
+        real name; a crash mid-write leaves the previous manifest intact
+        (and at worst a stale ``.tmp`` the next open sweeps).
+        """
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "next_run_id": self.next_run_id,
+            "ingested_pairs": self.ingested_pairs,
+            "runs": [run.to_json() for run in self.runs],
+        }
+        tmp = root / (MANIFEST_NAME + TMP_SUFFIX)
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, root / MANIFEST_NAME)
+
+    @classmethod
+    def load(cls, root: Path) -> "StoreManifest":
+        """Read the manifest of ``root``; :class:`StoreError` if corrupt."""
+        path = root / MANIFEST_NAME
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as err:
+            raise StoreError(f"cannot read manifest {path}: {err}") from err
+        except json.JSONDecodeError as err:
+            raise StoreError(f"corrupt manifest {path}: {err}") from err
+        if not isinstance(payload, dict):
+            raise StoreError(f"corrupt manifest {path}: not a JSON object")
+        version = payload.get("format")
+        if version != MANIFEST_FORMAT:
+            raise StoreError(
+                f"manifest {path} has format {version!r}; this code reads "
+                f"format {MANIFEST_FORMAT}"
+            )
+        try:
+            return cls(
+                runs=[RunMeta.from_json(r) for r in payload["runs"]],
+                next_run_id=int(payload["next_run_id"]),
+                ingested_pairs=int(payload["ingested_pairs"]),
+            )
+        except (KeyError, TypeError, ValueError) as err:
+            raise StoreError(f"malformed manifest {path}: {err}") from err

@@ -1,0 +1,91 @@
+"""LoserTree edge cases: duplicates, empty runs, single-run merges.
+
+The k-way selection tree backs both the out-of-core merge and every
+``repro.store`` query/compaction, so its degenerate inputs get their own
+coverage: all-duplicate keys (every comparison falls through to the
+payload tiebreak), empty runs interleaved with live ones (dead leaves
+must sort after every live entry), and the single-run case (a copy, no
+comparisons at all).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.sharded import merge_sorted_runs
+from repro.core.values import make_values
+from repro.errors import SortInputError
+from repro.hybrid.external import LoserTree
+
+
+def _run(keys, ids=None):
+    values = make_values(np.asarray(keys, dtype=np.float32),
+                         None if ids is None else np.asarray(ids, np.uint32))
+    order = np.lexsort((values["id"], values["key"]))
+    return values[order]
+
+
+class TestDuplicateKeys:
+    def test_all_duplicate_keys_merge_by_payload(self):
+        runs = [
+            _run([0.5] * 4, ids=[0, 2, 4, 6]),
+            _run([0.5] * 4, ids=[1, 3, 5, 7]),
+        ]
+        merged, comparisons = merge_sorted_runs(runs)
+        assert list(merged["id"]) == list(range(8))
+        assert np.all(merged["key"] == np.float32(0.5))
+        assert comparisons > 0  # the tree really played matches
+
+    def test_duplicates_in_the_tree_directly(self):
+        tree = LoserTree(3)
+        tree.build([(0.5, 2), (0.5, 0), (0.5, 1), None])
+        order = []
+        for _ in range(3):
+            _key, payload = tree.winner_entry()
+            order.append(payload)
+            tree.replace_winner(0.0, 0, live=False)
+        assert order == [0, 1, 2]  # payload breaks every key tie
+
+
+class TestEmptyRuns:
+    def test_empty_runs_interleaved_with_live_ones(self):
+        empty = _run([])
+        runs = [empty, _run([0.3, 0.9]), empty, _run([0.1, 0.5]), empty]
+        merged, comparisons = merge_sorted_runs(runs)
+        assert list(merged["key"]) == pytest.approx([0.1, 0.3, 0.5, 0.9])
+        # only the two live runs entered the tree: k - 1 = 1 comparison
+        # to build plus one per output element for k = 2
+        assert comparisons == 5
+
+    def test_all_runs_empty(self):
+        merged, comparisons = merge_sorted_runs([_run([]), _run([])])
+        assert merged.shape[0] == 0
+        assert comparisons == 0
+
+    def test_dead_leaves_sort_after_live_entries(self):
+        tree = LoserTree(4)
+        tree.build([(0.9, 0), None, (0.1, 1), None])
+        assert tree.winner_entry() == (0.1, 1)
+        tree.replace_winner(0.0, 0, live=False)
+        assert tree.winner_entry() == (0.9, 0)
+        tree.replace_winner(0.0, 0, live=False)
+        assert tree.exhausted
+
+
+class TestSingleRun:
+    def test_single_run_merge_is_a_copy_with_zero_comparisons(self):
+        run = _run([0.2, 0.4, 0.8])
+        merged, comparisons = merge_sorted_runs([run])
+        assert np.array_equal(merged, run)
+        assert comparisons == 0
+        merged["key"][0] = 99.0  # a copy, not a view
+        assert run["key"][0] == np.float32(0.2)
+
+    def test_no_runs_at_all(self):
+        merged, comparisons = merge_sorted_runs([])
+        assert merged.shape[0] == 0 and comparisons == 0
+
+    def test_tree_rejects_zero_inputs(self):
+        with pytest.raises(SortInputError):
+            LoserTree(0)

@@ -1,0 +1,80 @@
+"""The store manifest: round trips, atomicity, and corruption errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import MANIFEST_NAME, RunMeta, StoreManifest
+
+
+def _meta(name="run-000000-g0.run", n=4, generation=0):
+    return RunMeta(name=name, n=n, generation=generation, min_key=0.1, max_key=0.9)
+
+
+class TestManifestRoundTrip:
+    def test_save_load_recovers_everything(self, tmp_path):
+        manifest = StoreManifest(
+            runs=[_meta(), _meta("run-000001-g1.run", n=8, generation=1)],
+            next_run_id=2,
+            ingested_pairs=12,
+        )
+        manifest.save(tmp_path)
+        loaded = StoreManifest.load(tmp_path)
+        assert loaded == manifest
+
+    def test_save_is_atomic_no_tmp_left(self, tmp_path):
+        StoreManifest().save(tmp_path)
+        assert (tmp_path / MANIFEST_NAME).exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_run_names_are_never_reused(self, tmp_path):
+        manifest = StoreManifest()
+        names = [manifest.new_run_name(g) for g in (0, 0, 1, 3)]
+        assert len(set(names)) == 4
+        assert names[0] == "run-000000-g0.run"
+        assert names[2] == "run-000002-g1.run"
+        # persists across a save/load cycle
+        manifest.save(tmp_path)
+        assert StoreManifest.load(tmp_path).new_run_name(0) == "run-000004-g0.run"
+
+    def test_levels_and_live_pairs(self):
+        manifest = StoreManifest(
+            runs=[_meta(n=4), _meta("b.run", n=8), _meta("c.run", n=2, generation=1)]
+        )
+        assert manifest.live_pairs == 14
+        assert manifest.levels == 2
+
+
+class TestManifestCorruption:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StoreError, match="cannot read"):
+            StoreManifest.load(tmp_path)
+
+    def test_corrupt_json(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(StoreError, match="corrupt"):
+            StoreManifest.load(tmp_path)
+
+    def test_wrong_format_version(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"format": 99, "next_run_id": 0, "ingested_pairs": 0,
+                        "runs": []})
+        )
+        with pytest.raises(StoreError, match="format"):
+            StoreManifest.load(tmp_path)
+
+    def test_malformed_run_record(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"format": 1, "next_run_id": 1, "ingested_pairs": 4,
+                        "runs": [{"name": "x.run"}]})
+        )
+        with pytest.raises(StoreError, match="malformed"):
+            StoreManifest.load(tmp_path)
+
+    def test_not_an_object(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("[1, 2, 3]")
+        with pytest.raises(StoreError, match="not a JSON object"):
+            StoreManifest.load(tmp_path)

@@ -1,0 +1,144 @@
+"""The store over the wire (NDJSON ``op: store`` lines) and the CLI."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.__main__ import main
+from repro.service import SortService, start_server
+from repro.store import SortedStore
+
+
+async def _call(reader, writer, obj):
+    writer.write((json.dumps(obj) + "\n").encode())
+    await writer.drain()
+    return json.loads((await reader.readline()).decode())
+
+
+def test_store_protocol_over_socket(tmp_path, rng):
+    keys_a = rng.random(64, dtype=np.float32)
+    keys_b = rng.random(64, dtype=np.float32)
+
+    async def run():
+        async with SortService(devices=2) as svc:
+            store = SortedStore(tmp_path, engine="cpu-std")
+            server = await start_server(svc, store=store)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                ins = await _call(reader, writer, {
+                    "op": "store", "action": "insert",
+                    "keys": keys_a.tolist(), "id": "i1",
+                })
+                assert ins["id"] == "i1"
+                assert ins["run"]["n"] == 64 and ins["runs"] == 1
+                await _call(reader, writer, {
+                    "op": "store", "action": "insert", "keys": keys_b.tolist(),
+                })
+
+                q = await _call(reader, writer, {
+                    "op": "store", "action": "query", "lo": 0.2, "hi": 0.8,
+                })
+                both = np.concatenate([keys_a, keys_b])
+                expect = np.sort(both[(both >= 0.2) & (both <= 0.8)])
+                assert q["n"] == expect.shape[0]
+                assert np.allclose(q["keys"], expect)
+
+                top = await _call(reader, writer, {
+                    "op": "store", "action": "topk", "k": 5,
+                })
+                assert np.allclose(top["keys"], np.sort(both)[:5])
+
+                comp = await _call(reader, writer, {
+                    "op": "store", "action": "compact",
+                })
+                assert comp["compacted"] is True and comp["runs"] == 1
+                assert comp["makespan_ms"] > 0
+
+                stats = await _call(reader, writer, {
+                    "op": "store", "action": "stats",
+                })
+                assert stats["runs"] == 1 and stats["live_pairs"] == 128
+                assert stats["compactions"] == 1
+
+                # sort lines still work on the same connection
+                sort = await _call(reader, writer, {"keys": [3.0, 1.0, 2.0]})
+                assert sort["keys"] == [1.0, 2.0, 3.0]
+
+                bad = await _call(reader, writer, {
+                    "op": "store", "action": "shrink",
+                })
+                assert "unknown store action" in bad["error"]
+                missing = await _call(reader, writer, {
+                    "op": "store", "action": "insert",
+                })
+                assert "keys" in missing["error"]
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                server.close()
+                await server.wait_closed()
+
+    asyncio.run(run())
+
+
+def test_store_lines_without_a_store_error_cleanly():
+    async def run():
+        async with SortService(devices=1) as svc:
+            server = await start_server(svc)  # no store attached
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                resp = await _call(reader, writer, {
+                    "op": "store", "action": "stats",
+                })
+                assert "no store attached" in resp["error"]
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                server.close()
+                await server.wait_closed()
+
+    asyncio.run(run())
+
+
+class TestStoreCLI:
+    def test_insert_query_topk_compact_stats(self, tmp_path, capsys):
+        path = str(tmp_path / "cli-store")
+        for seed in ("0", "1", "2"):
+            assert main(["store", "insert", "--path", path, "--n", "256",
+                         "--seed", seed, "--engine", "cpu-std"]) == 0
+        assert "store now 3 runs / 768 pairs" in capsys.readouterr().out
+
+        assert main(["store", "query", "--path", path,
+                     "--lo", "0.4", "--hi", "0.6"]) == 0
+        assert "from 3 runs" in capsys.readouterr().out
+
+        assert main(["store", "topk", "--path", path, "--k", "4"]) == 0
+        assert "top 4: 4 pairs" in capsys.readouterr().out
+
+        assert main(["store", "compact", "--path", path, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "compaction of 3 runs" in out  # the explain table
+        assert "compacted 3 -> 1 runs" in out
+
+        assert main(["store", "stats", "--path", path]) == 0
+        assert "1 live in 1 level(s), 768 pairs" in capsys.readouterr().out
+
+    def test_compact_on_fresh_store_reports_no_op(self, tmp_path, capsys):
+        path = str(tmp_path / "empty-store")
+        assert main(["store", "compact", "--path", path]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
+
+    def test_pinned_policy_flags(self, tmp_path, capsys):
+        path = str(tmp_path / "pinned-store")
+        for seed in ("0", "1", "2", "3"):
+            main(["store", "insert", "--path", path, "--n", "64",
+                  "--seed", seed, "--engine", "cpu-std"])
+        capsys.readouterr()
+        assert main(["store", "compact", "--path", path,
+                     "--fan-in", "2", "--devices", "2"]) == 0
+        assert "fan-in 2 on 2 device(s)" in capsys.readouterr().out

@@ -27,7 +27,13 @@ def _links(path: Path) -> list[str]:
 
 def test_docs_exist():
     names = {p.name for p in DOC_FILES}
-    assert {"README.md", "architecture.md", "service.md", "cookbook.md"} <= names
+    assert {
+        "README.md",
+        "architecture.md",
+        "service.md",
+        "store.md",
+        "cookbook.md",
+    } <= names
 
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)

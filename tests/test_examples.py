@@ -53,4 +53,5 @@ def test_all_examples_discovered():
         "stream_layout_tour",
         "scalability_study",
         "out_of_core_sort",
+        "store_tour",
     } <= names
