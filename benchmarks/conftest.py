@@ -14,6 +14,11 @@ the :func:`bench_json` fixture, which appends them (keyed by test name) to
 ``BENCH_<module>.json`` -- one file per benchmark module, under
 ``REPRO_BENCH_JSON_DIR`` (default: ``benchmarks/results/``).  CI and
 longitudinal tooling read those instead of scraping stdout.
+
+Benchmarks named in :data:`TRACKED_BENCHES` additionally mirror their JSON
+to the *repository root* (``BENCH_<name>.json``), which is committed --
+wall-clock history that survives across pull requests instead of dying
+with the gitignored results directory.
 """
 
 from __future__ import annotations
@@ -27,6 +32,12 @@ import pytest
 
 TABLE_SIZES_FAST = tuple(1 << e for e in range(13, 18))
 TABLE_SIZES_FULL = tuple(1 << e for e in range(15, 21))
+
+#: Benchmark modules whose JSON is mirrored to the tracked repo root.
+TRACKED_BENCHES = frozenset({"exec_tier"})
+
+#: The repository root (two levels up from this conftest).
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def table_sizes() -> tuple[int, ...]:
@@ -89,7 +100,10 @@ def bench_json(request):
         if path.exists():
             existing = json.loads(path.read_text())
         existing[request.node.name] = _json_ready(payload)
-        path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+        text = json.dumps(existing, indent=2, sort_keys=True) + "\n"
+        path.write_text(text)
+        if name in TRACKED_BENCHES:
+            (REPO_ROOT / f"BENCH_{name}.json").write_text(text)
         return path
 
     return emit

@@ -43,6 +43,7 @@ import sys
 import numpy as np
 
 import repro
+from repro.exec import EXEC_TIERS
 from repro.analysis import figures as fig
 from repro.analysis.plots import timing_plot
 from repro.analysis.timing import (
@@ -84,7 +85,12 @@ def cmd_sort(args: argparse.Namespace) -> int:
     # The 6800 leg pairs the GPU with its Table-2 AGP host (as `plan` and
     # `cluster` do), so a planned dispatch here matches `plan --gpu 6800`.
     result = repro.sort(
-        repro.SortRequest(keys=keys, gpu=GEFORCE_6800_ULTRA, host=AGP_SYSTEM),
+        repro.SortRequest(
+            keys=keys,
+            gpu=GEFORCE_6800_ULTRA,
+            host=AGP_SYSTEM,
+            exec_tier=args.exec_tier,
+        ),
         engine=engine,
     )
     t = result.telemetry
@@ -154,7 +160,13 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         gpu, host = GEFORCE_7800_GTX, PCIE_SYSTEM
     keys = generate_keys(args.dist, args.n, seed=args.seed)
     result = repro.sort(
-        repro.SortRequest(keys=keys, gpu=gpu, host=host, devices=args.devices),
+        repro.SortRequest(
+            keys=keys,
+            gpu=gpu,
+            host=host,
+            devices=args.devices,
+            exec_tier=args.exec_tier,
+        ),
         engine="sharded-abisort",
     )
     t = result.telemetry
@@ -214,6 +226,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         coalesce_window_ms=args.window_ms,
         max_batch=args.max_batch,
+        exec_tier=args.exec_tier,
     )
 
     def on_ready(port: int) -> None:
@@ -233,7 +246,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.store is not None:
         from repro.store import SortedStore
 
-        store = SortedStore(args.store, gpu=gpu, host=host_model)
+        store = SortedStore(
+            args.store, gpu=gpu, host=host_model, exec_tier=args.exec_tier
+        )
     try:
         asyncio.run(
             serve_forever(
@@ -268,7 +283,7 @@ def cmd_store(args: argparse.Namespace) -> int:
     from repro.analysis.cluster_report import format_store_stats
     from repro.store import SortedStore
 
-    store = SortedStore(args.path)
+    store = SortedStore(args.path, exec_tier=args.exec_tier)
     if args.action == "insert":
         keys = generate_keys(args.dist, args.n, seed=args.seed)
         meta = store.insert(keys, engine=args.engine)
@@ -534,6 +549,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default="overlapped")
     p_sort.add_argument("--no-optimized", action="store_true",
                         help="disable the Section-7 optimizations")
+    p_sort.add_argument("--exec-tier", choices=EXEC_TIERS, default=None,
+                        dest="exec_tier",
+                        help="execution tier of the hot loops (default: the "
+                             "planner's pick; both tiers are bit-identical)")
     p_sort.set_defaults(func=cmd_sort)
 
     p_back = sub.add_parser(
@@ -574,6 +593,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_clu.add_argument("--dist", choices=sorted(DISTRIBUTIONS),
                        default="uniform")
     p_clu.add_argument("--seed", type=int, default=0)
+    p_clu.add_argument("--exec-tier", choices=EXEC_TIERS, default=None,
+                       dest="exec_tier",
+                       help="execution tier of the reassembly merge "
+                            "(default: the planner's pick)")
     p_clu.set_defaults(func=cmd_cluster)
 
     p_srv = sub.add_parser(
@@ -603,6 +626,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--store", default=None, metavar="DIR",
                        help="attach a persistent SortedStore directory "
                             "(enables the {\"op\": \"store\"} wire lines)")
+    p_srv.add_argument("--exec-tier", choices=EXEC_TIERS, default=None,
+                       dest="exec_tier",
+                       help="execution tier stamped on unpinned requests "
+                            "and the attached store (default: the planner)")
     p_srv.set_defaults(func=cmd_serve)
 
     p_store = sub.add_parser(
@@ -633,6 +660,10 @@ def build_parser() -> argparse.ArgumentParser:
     for sp in (st_ins, st_q, st_k, st_c, store_sub.choices["stats"]):
         sp.add_argument("--path", required=True,
                         help="store directory (created on first use)")
+        sp.add_argument("--exec-tier", choices=EXEC_TIERS, default=None,
+                        dest="exec_tier",
+                        help="execution tier of query/compaction merges "
+                             "(default: the process default, vectorized)")
     p_store.set_defaults(func=cmd_store)
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")

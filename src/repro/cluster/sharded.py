@@ -31,7 +31,7 @@ from repro.cluster.device import Device, make_devices
 from repro.cluster.planner import ShardPlan, ShardPlanner
 from repro.cluster.scheduler import ClusterSchedule, PipelineTask, Scheduler
 from repro.errors import SortInputError
-from repro.hybrid.external import LoserTree
+from repro.exec import get_backend
 from repro.stream.gpu_model import PCIE_SYSTEM, HostSystem, estimate_gpu_time_ms
 from repro.stream.mapping2d import Mapping2D, ZOrderMapping
 from repro.stream.stream import VALUE_DTYPE
@@ -85,45 +85,20 @@ def _strip_padding(sorted_padded: np.ndarray, orig: int,
     return out
 
 
-def merge_sorted_runs(runs: list[np.ndarray]) -> tuple[np.ndarray, int]:
-    """Loser-tree k-way merge of sorted ``VALUE_DTYPE`` runs.
+def merge_sorted_runs(
+    runs: list[np.ndarray], tier: str | None = None
+) -> tuple[np.ndarray, int]:
+    """K-way merge of sorted ``VALUE_DTYPE`` runs, loser-tree semantics.
 
-    Returns the merged array and the number of comparisons the tree played
-    (~``n log2 k``, the counted cost of the host-side merge stage).  Empty
-    runs are skipped; a single run returns a copy with zero comparisons.
+    Returns the merged array and the number of comparisons the loser
+    tree plays (~``n log2 k``, the counted cost of the host-side merge
+    stage).  Empty runs are skipped; a single run returns a copy with
+    zero comparisons.  ``tier`` selects the execution backend (see
+    :mod:`repro.exec`): ``"reference"`` plays every match, ``"vectorized"``
+    merges with numpy, ``None`` uses the process default -- the merged
+    bytes and the comparison count are identical either way.
     """
-    live_runs = [r for r in runs if r.shape[0]]
-    total = sum(r.shape[0] for r in live_runs)
-    out = np.empty(total, dtype=VALUE_DTYPE)
-    if not live_runs:
-        return out, 0
-    if len(live_runs) == 1:
-        out[:] = live_runs[0]
-        return out, 0
-
-    k = len(live_runs)
-    tree = LoserTree(k)
-    # Leaves order by (key, id): the same global total order the shards are
-    # sorted by, so duplicate keys merge into exactly the single-device
-    # output.  The winning run is identified by the winner leaf index.
-    entries: list[tuple[float, int] | None] = [
-        (float(r["key"][0]), int(r["id"][0])) for r in live_runs
-    ]
-    tree.build(entries + [None] * (tree.k - k))
-    cursors = [1] * k
-    for i in range(total):
-        key, rec_id = tree.winner_entry()
-        run_idx = tree.winner
-        out[i]["key"] = np.float32(key)
-        out[i]["id"] = np.uint32(rec_id)
-        run = live_runs[run_idx]
-        c = cursors[run_idx]
-        if c < run.shape[0]:
-            cursors[run_idx] = c + 1
-            tree.replace_winner(float(run["key"][c]), int(run["id"][c]), live=True)
-        else:
-            tree.replace_winner(np.inf, 0, live=False)
-    return out, tree.comparisons
+    return get_backend(tier).merge_runs(runs)
 
 
 @dataclass
@@ -166,6 +141,11 @@ class ShardedSorter:
     host:
         The CPU side: prices the final merge at ``cpu_op_ns`` per
         comparison.
+    exec_tier:
+        Execution tier of the recombining merge (see :mod:`repro.exec`);
+        ``None`` uses the process default.  The per-shard sorts always
+        run exactly (their op logs are the product); only the host-side
+        merge loop changes substrate, bit- and telemetry-identically.
     """
 
     def __init__(
@@ -177,6 +157,7 @@ class ShardedSorter:
         overlap: bool = True,
         mapping: Mapping2D | None = None,
         host: HostSystem = PCIE_SYSTEM,
+        exec_tier: str | None = None,
     ):
         if isinstance(devices, int):
             devices = make_devices(devices, host=host)
@@ -188,6 +169,7 @@ class ShardedSorter:
         self.overlap = overlap
         self.mapping = mapping or ZOrderMapping()
         self.host = host
+        self.exec_tier = exec_tier
         self._sorters = {d.index: d.make_sorter(self.config) for d in devices}
 
     def sort(self, values: np.ndarray) -> ShardedSortResult:
@@ -246,7 +228,7 @@ class ShardedSorter:
             )
 
         if len(runs) > 1:
-            merged, comparisons = merge_sorted_runs(runs)
+            merged, comparisons = merge_sorted_runs(runs, tier=self.exec_tier)
         else:
             merged, comparisons = runs[0], 0
         merge_ms = comparisons * self.host.cpu_op_ns * 1e-6

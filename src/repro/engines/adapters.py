@@ -182,6 +182,7 @@ class ShardedABiSortEngine(SortEngine):
             overlap=self.overlap,
             mapping=request.mapping or ZOrderMapping(),
             host=request.host,
+            exec_tier=request.exec_tier,
         )
         res = sorter.sort(values)
 
@@ -312,6 +313,7 @@ class ExternalSortEngine(SortEngine):
             gpu=request.gpu,
             mapping=request.mapping or ZOrderMapping(),
             merge_buffer=self.merge_buffer,
+            exec_tier=request.exec_tier,
         )
         disk = SimulatedDisk(VALUE_DTYPE)
         disk.write_file("input", values)

@@ -127,6 +127,15 @@ class SortRequest:
     #: ``sort_batch`` fast path; ``None`` keeps the engine's own default.
     #: Single-device engines ignore it.
     devices: int | None = None
+    #: Execution tier of the merge/stream hot loops (see :mod:`repro.exec`):
+    #: ``"reference"`` or ``"vectorized"``, both bit- and
+    #: telemetry-identical.  ``None`` lets the planner pick (``vectorized``
+    #: for serving, ``reference`` when :attr:`trace` is set); engines
+    #: dispatched by name fall back to the process default.
+    exec_tier: str | None = None
+    #: The caller wants the exact traced execution (op logs, comparison
+    #: traces, figures): the planner then selects the ``reference`` tier.
+    trace: bool = False
 
     def to_values(self) -> np.ndarray:
         """Normalise the input to a ``VALUE_DTYPE`` array (without copying

@@ -79,13 +79,25 @@ class RequestShape:
     host: str
     mapping: str
     devices: int | None = None
+    #: The request's explicit execution tier (None = planner's choice) and
+    #: trace flag.  Neither changes any engine's *modeled* cost -- the
+    #: tiers are telemetry-identical by contract -- but both are part of
+    #: the plan (the chosen tier rides on it), so the plan cache must not
+    #: alias shapes that differ in them.
+    exec_tier: str | None = None
+    trace: bool = False
 
     def describe(self) -> str:
         """Compact one-line form for plan explanations."""
         form = "key-value" if self.key_value else "values"
         dev = f", devices={self.devices}" if self.devices else ""
         req = f", require={','.join(self.require)}" if self.require else ""
-        return f"n={self.n} {form} on {self.gpu} / {self.host}{dev}{req}"
+        tier = f", exec_tier={self.exec_tier}" if self.exec_tier else ""
+        traced = ", trace" if self.trace else ""
+        return (
+            f"n={self.n} {form} on {self.gpu} / {self.host}{dev}{req}"
+            f"{tier}{traced}"
+        )
 
 
 def request_shape(request: "SortRequest") -> RequestShape:
@@ -106,6 +118,8 @@ def request_shape(request: "SortRequest") -> RequestShape:
         host=request.host.name,
         mapping=mapping,
         devices=request.devices,
+        exec_tier=request.exec_tier,
+        trace=request.trace,
     )
 
 

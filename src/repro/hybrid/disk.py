@@ -89,6 +89,16 @@ class SimulatedDisk:
         self._head = (name, offset + count)
         return out
 
+    def peek(self, name: str) -> np.ndarray:
+        """The file's entire contents, *uncharged* (no stats, head kept).
+
+        This is a model-inspection hole, not a disk operation: the
+        vectorized execution tier uses it to compute a merge result
+        up front and then replay the reference tier's charged block
+        accesses exactly.  Callers must treat the array as read-only.
+        """
+        return self._file(name)
+
     def size(self, name: str) -> int:
         """Element count of a file."""
         return self._file(name).shape[0]

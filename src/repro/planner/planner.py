@@ -34,6 +34,7 @@ from repro.engines import registry
 from repro.engines.base import SortRequest
 from repro.engines.cost import CostEstimate, RequestShape, request_shape
 from repro.errors import EngineError
+from repro.exec import default_tier, resolve_tier
 
 __all__ = [
     "PlanCandidate",
@@ -77,6 +78,12 @@ class SortPlan:
     devices: int | None
     estimate: CostEstimate
     candidates: tuple[PlanCandidate, ...]
+    #: Execution tier of the hot loops (:mod:`repro.exec`): the request's
+    #: explicit choice if it made one, else ``reference`` for traced
+    #: requests and ``vectorized`` otherwise.  Both tiers return the same
+    #: bytes and the same modeled telemetry; the planner's pick only
+    #: decides wall-clock speed vs. per-operation observability.
+    exec_tier: str = "vectorized"
 
     @property
     def cost_ms(self) -> float:
@@ -107,7 +114,8 @@ class SortPlan:
             )
         dev = f" on {self.devices} devices" if self.devices else ""
         lines.append(
-            f"  -> {self.engine}{dev}, predicted {self.cost_ms:.3f} ms"
+            f"  -> {self.engine}{dev}, predicted {self.cost_ms:.3f} ms, "
+            f"{self.exec_tier} execution tier"
         )
         return "\n".join(lines)
 
@@ -208,12 +216,19 @@ class Planner:
         best = min(
             candidates, key=lambda c: (c.cost_ms, c.engine, c.devices or 0)
         )
+        # Tier rule: honour an explicit request, otherwise trade the
+        # vectorized tier's speed away only when the caller wants traces.
+        exec_tier = resolve_tier(
+            request.exec_tier
+            or ("reference" if request.trace else default_tier())
+        )
         plan = SortPlan(
             shape=shape,
             engine=best.engine,
             devices=best.devices,
             estimate=best.estimate,
             candidates=tuple(sorted(candidates, key=lambda c: c.cost_ms)),
+            exec_tier=exec_tier,
         )
         self.cache.put(shape, plan)
         return plan

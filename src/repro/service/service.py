@@ -261,6 +261,8 @@ class SortService:
                 " or call start()"
             )
         req = _as_request(request)
+        if self.config.exec_tier is not None and req.exec_tier is None:
+            req = dataclasses.replace(req, exec_tier=self.config.exec_tier)
         chosen = engine if engine is not None else self.config.engine
         if chosen is not None and chosen not in registry.available():
             # Fail fast, as repro.sort() would; never hand the coalescer a

@@ -30,6 +30,7 @@ def test_docs_exist():
     assert {
         "README.md",
         "architecture.md",
+        "execution.md",
         "service.md",
         "store.md",
         "cookbook.md",
