@@ -1,0 +1,204 @@
+"""E28 -- the vectorized *stream* tier's wall-clock claim, gated.
+
+PR 7 gated the serving hot loops (``BENCH_exec_tier.json``: the k-way
+merge and the out-of-core pipeline).  This benchmark gates the layer
+below: whole GPU-ABiSort passes batched through :mod:`repro.exec` --
+the ``vectorized`` tier runs the unchanged drivers against a
+:class:`~repro.exec.stream_tier.CountingStreamMachine` and produces the
+forced output with one composite argsort, instead of interpreting every
+kernel pass (see ``docs/execution.md``).
+
+The tier contract is *bit-identity including modeled telemetry*, so
+every timing row also asserts:
+
+* byte-identical sorted output,
+* record-for-record equal :class:`StreamOpRecord` logs,
+* equal :class:`MachineCounters`,
+* equal :class:`CostBreakdown` (the cache-efficiency-weighted modeled
+  time derived from each log), and -- at the smallest size -- equal
+  :class:`TextureCacheSim` statistics from replaying each log's linear
+  input blocks,
+* equal :class:`SortTelemetry` minus ``wall_time_s`` (the one measured,
+  legitimately tier-dependent field).
+
+Gate: at 2^16 keys the vectorized tier must beat the reference
+interpreter by :data:`GATE` x on the ``abisort`` engine (default 5x,
+overridable via ``REPRO_STREAM_GATE`` for cross-hardware CI smoke).
+The auto engine is measured end to end as well, identity-asserted but
+ungated -- the planner is free to pick a non-stream backend.
+
+Results land in ``BENCH_stream_tier.json`` at the repository *root*
+(see ``TRACKED_BENCHES`` in ``conftest.py``): committed wall-clock
+history that survives across pull requests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+import numpy as np
+
+import repro
+from repro.stream.cache import CacheConfig, TextureCacheSim
+from repro.stream.gpu_model import GEFORCE_7800_GTX, estimate_gpu_time_ms
+from repro.stream.mapping2d import ZOrderMapping
+from repro.stream.stream import VALUE_DTYPE
+
+SIZES = (1 << 12, 1 << 14, 1 << 16)
+GATE_N = 1 << 16
+#: Required vectorized-over-reference speedup for a full ABiSort pass at
+#: :data:`GATE_N` keys.  The default is the acceptance bar; CI smoke
+#: runs keep it at 5 via ``REPRO_STREAM_GATE`` (shared-runner jitter).
+GATE = float(os.environ.get("REPRO_STREAM_GATE", "5"))
+
+CACHE_REPLAY_MAX_N = 1 << 12
+
+
+def _values(n: int, rng) -> np.ndarray:
+    values = np.empty(n, dtype=VALUE_DTYPE)
+    values["key"] = rng.random(n, dtype=np.float32)
+    values["id"] = np.arange(n, dtype=np.uint32)
+    return values
+
+
+def _telemetry_dict(result) -> dict:
+    d = dataclasses.asdict(result.telemetry)
+    # The only measured (non-modeled) field: wall time of the simulation
+    # itself, which is exactly what the two tiers are allowed to differ in.
+    d.pop("wall_time_s")
+    return d
+
+
+def _cache_replay_stats(machine) -> tuple[int, int]:
+    """(hits, misses) of a :class:`TextureCacheSim` replay of the op log's
+    linear input blocks under the Z-order mapping."""
+    mapping = ZOrderMapping()
+    sim = TextureCacheSim(CacheConfig())
+    for op in machine.ops:
+        for _, blocks in op.input_blocks:
+            for start, stop in blocks:
+                for rect in mapping.block_rects(start, stop - start):
+                    ys, xs = np.mgrid[
+                        rect.y : rect.y + rect.h, rect.x : rect.x + rect.w
+                    ]
+                    sim.access(xs.ravel(), ys.ravel())
+    return sim.hits, sim.misses
+
+
+def _assert_identical(ref, vec, label: str, *, cache_replay: bool) -> None:
+    assert ref.values.tobytes() == vec.values.tobytes(), (
+        f"{label}: sorted outputs differ"
+    )
+    assert ref.machine.ops == vec.machine.ops, f"{label}: op logs differ"
+    assert ref.machine.counters() == vec.machine.counters(), (
+        f"{label}: machine counters differ"
+    )
+    assert _telemetry_dict(ref) == _telemetry_dict(vec), (
+        f"{label}: modeled telemetry differs"
+    )
+    mapping = ZOrderMapping()
+    ref_cost = estimate_gpu_time_ms(ref.machine.ops, GEFORCE_7800_GTX, mapping)
+    vec_cost = estimate_gpu_time_ms(vec.machine.ops, GEFORCE_7800_GTX, mapping)
+    assert ref_cost == vec_cost, f"{label}: modeled cost breakdowns differ"
+    if cache_replay:
+        assert _cache_replay_stats(ref.machine) == _cache_replay_stats(
+            vec.machine
+        ), f"{label}: texture-cache replay statistics differ"
+
+
+def _timed_sort(values: np.ndarray, tier: str, engine: str):
+    request = repro.SortRequest(values=values, exec_tier=tier)
+    start = time.perf_counter()
+    result = repro.sort(request, engine=engine)
+    return result, time.perf_counter() - start
+
+
+def test_abisort_speedup_and_identity(benchmark, bench_json):
+    rng = np.random.default_rng(7806)
+    inputs = {n: _values(n, rng) for n in SIZES}
+
+    def run_all():
+        rows = {}
+        for n in SIZES:
+            values = inputs[n]
+            ref, reference_s = _timed_sort(values, "reference", "abisort")
+            vec, vectorized_s = None, float("inf")
+            for _ in range(3):
+                res, elapsed = _timed_sort(values, "vectorized", "abisort")
+                if elapsed < vectorized_s:
+                    vec, vectorized_s = res, elapsed
+            _assert_identical(
+                ref, vec, f"n={n}", cache_replay=n <= CACHE_REPLAY_MAX_N
+            )
+            rows[n] = {
+                "n": n,
+                "stream_ops": ref.telemetry.stream_ops,
+                "bytes_moved": ref.telemetry.bytes_moved,
+                "reference_s": reference_s,
+                "vectorized_s": vectorized_s,
+                "speedup": reference_s / vectorized_s,
+            }
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    bench_json(rows=rows, gate=GATE, gate_n=GATE_N)
+    print("\nfull ABiSort pass (abisort engine), reference vs vectorized:")
+    for n, row in rows.items():
+        print(
+            f"  n=2^{n.bit_length() - 1:>2}: "
+            f"{row['reference_s'] * 1e3:8.1f} ms -> "
+            f"{row['vectorized_s'] * 1e3:7.1f} ms  "
+            f"({row['speedup']:.1f}x)"
+        )
+    speedup = rows[GATE_N]["speedup"]
+    assert speedup >= GATE, (
+        f"vectorized stream tier speedup {speedup:.1f}x at n={GATE_N} "
+        f"below the {GATE:.0f}x gate"
+    )
+
+
+def test_auto_engine_end_to_end(benchmark, bench_json):
+    """The planner path: tier pinned per request, identity end to end."""
+    rng = np.random.default_rng(7806)
+    values = _values(GATE_N, rng)
+
+    def run_both():
+        ref, reference_s = _timed_sort(values, "reference", None)
+        vec, vectorized_s = None, float("inf")
+        for _ in range(3):
+            res, elapsed = _timed_sort(values, "vectorized", None)
+            if elapsed < vectorized_s:
+                vec, vectorized_s = res, elapsed
+        return ref, vec, reference_s, vectorized_s
+
+    ref, vec, reference_s, vectorized_s = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    assert ref.values.tobytes() == vec.values.tobytes(), (
+        "auto engine: sorted outputs differ across tiers"
+    )
+    assert ref.engine == vec.engine, (
+        "the tier must not change the planner's backend choice"
+    )
+    assert _telemetry_dict(ref) == _telemetry_dict(vec), (
+        "auto engine: modeled telemetry differs across tiers"
+    )
+    if ref.machine is not None and vec.machine is not None:
+        assert ref.machine.ops == vec.machine.ops
+        assert ref.machine.counters() == vec.machine.counters()
+    speedup = reference_s / vectorized_s
+    bench_json(
+        n=GATE_N,
+        engine=ref.engine,
+        reference_s=reference_s,
+        vectorized_s=vectorized_s,
+        speedup=speedup,
+    )
+    print(
+        f"\nauto engine at n={GATE_N} (planner picked {ref.engine!r}): "
+        f"{reference_s * 1e3:.1f} ms -> {vectorized_s * 1e3:.1f} ms "
+        f"({speedup:.1f}x, identity asserted; ungated -- the planner may "
+        f"pick a non-stream backend)"
+    )

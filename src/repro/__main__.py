@@ -518,7 +518,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
     gpu = GEFORCE_6800_ULTRA if args.gpu == "6800" else GEFORCE_7800_GTX
     result = repro.sort(
         repro.SortRequest(
-            keys=generate_keys("uniform", args.n, seed=0), gpu=gpu
+            keys=generate_keys("uniform", args.n, seed=0),
+            gpu=gpu,
+            exec_tier=args.exec_tier,
         ),
         engine=args.engine or "abisort",
     )
@@ -689,6 +691,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--gpu", choices=("6800", "7800"), default="7800")
     p_prof.add_argument("--engine", default=None,
                         help="profile this backend (default: abisort)")
+    p_prof.add_argument("--exec-tier", choices=EXEC_TIERS, default=None,
+                        dest="exec_tier",
+                        help="execution tier to profile under (the op log, "
+                             "and so the profile, is tier-identical)")
     p_prof.set_defaults(func=cmd_profile)
 
     p_rep = sub.add_parser("report", help="quick reproduction checklist")

@@ -4,9 +4,10 @@ The scale-out sort the cluster subsystem exists for:
 
 1. :class:`~repro.cluster.planner.ShardPlanner` partitions the input into
    contiguous shards (one or more pipeline slices per device);
-2. every shard is sorted *for real* on its device -- a per-device
-   GPU-ABiSort driver bound to that device's stream machines (so op logs
-   and counters stay per device);
+2. every shard is sorted on its device -- a per-device GPU-ABiSort driver
+   bound to that device's stream machines (so op logs and counters stay
+   per device); under the ``vectorized`` tier the driver runs in counting
+   mode (:mod:`repro.exec.stream_tier`) with identical per-device logs;
 3. the :class:`~repro.cluster.scheduler.Scheduler` lays the shards'
    upload/sort/download stages onto the devices' modeled resources,
    overlapping transfers with compute (Section 7 generalised to N devices);
@@ -26,12 +27,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.api import ABiSortConfig
+from repro.core.api import ABiSortConfig, make_sorter
 from repro.cluster.device import Device, make_devices
 from repro.cluster.planner import ShardPlan, ShardPlanner
 from repro.cluster.scheduler import ClusterSchedule, PipelineTask, Scheduler
 from repro.errors import SortInputError
-from repro.exec import get_backend
+from repro.exec import get_backend, resolve_tier
+from repro.exec.stream_tier import CountingStreamMachine, counting_sort_run
 from repro.stream.gpu_model import PCIE_SYSTEM, HostSystem, estimate_gpu_time_ms
 from repro.stream.mapping2d import Mapping2D, ZOrderMapping
 from repro.stream.stream import VALUE_DTYPE
@@ -142,10 +144,12 @@ class ShardedSorter:
         The CPU side: prices the final merge at ``cpu_op_ns`` per
         comparison.
     exec_tier:
-        Execution tier of the recombining merge (see :mod:`repro.exec`);
-        ``None`` uses the process default.  The per-shard sorts always
-        run exactly (their op logs are the product); only the host-side
-        merge loop changes substrate, bit- and telemetry-identically.
+        Execution tier (see :mod:`repro.exec`); ``None`` uses the process
+        default.  Under ``vectorized`` the per-shard sorts run in counting
+        mode (:mod:`repro.exec.stream_tier`) -- each counting machine is
+        adopted into its device's machine log, so per-device op logs and
+        counters stay identical to a reference run -- and the host-side
+        merge loop runs on numpy.  Bit- and telemetry-identical either way.
     """
 
     def __init__(
@@ -171,6 +175,22 @@ class ShardedSorter:
         self.host = host
         self.exec_tier = exec_tier
         self._sorters = {d.index: d.make_sorter(self.config) for d in devices}
+        # Counting-mode twins for the vectorized tier.  Their machines are
+        # free-standing (not auto-registered with a device) so a fallback
+        # run leaves no trace; successful counting machines are adopted
+        # into device.machines by sort() to keep per-device logs complete.
+        self._counting_sorters = {
+            d.index: make_sorter(
+                self.config,
+                machine_factory=lambda distinct_io: CountingStreamMachine(
+                    distinct_io=distinct_io
+                ),
+            )
+            for d in devices
+        }
+        # Shared across devices: op logs depend only on (config, n), and
+        # the cluster is homogeneous in configuration.
+        self._oplog_memo: dict = {}
 
     def sort(self, values: np.ndarray) -> ShardedSortResult:
         """Sort a ``VALUE_DTYPE`` array of any length across the cluster."""
@@ -198,17 +218,33 @@ class ShardedSorter:
         tasks: list[PipelineTask] = []
         shard_sort_ms: list[float] = []
         itemsize = values.dtype.itemsize
+        fast = resolve_tier(self.exec_tier) == "vectorized"
         for shard in plan.shards:
             chunk = values[shard.start : shard.stop]
             sort_ms = 0.0
             if chunk.shape[0] >= 2:
                 padded, pad_ids = _pad_shard(chunk)
-                sorter = self._sorters[shard.device]
+                machine = None
+                if fast:
+                    res = counting_sort_run(
+                        self._counting_sorters[shard.device],
+                        padded,
+                        memo=self._oplog_memo,
+                    )
+                    if res is not None:
+                        sorted_padded, machine = res
+                        # Adopt the counting machine so this device's op
+                        # log and counters match a reference run exactly.
+                        self.devices[shard.device].machines.append(machine)
+                if machine is None:
+                    sorter = self._sorters[shard.device]
+                    sorted_padded = sorter.sort(padded)
+                    machine = sorter.last_machine
                 sorted_chunk = _strip_padding(
-                    sorter.sort(padded), chunk.shape[0], pad_ids
+                    sorted_padded, chunk.shape[0], pad_ids
                 )
                 sort_ms = estimate_gpu_time_ms(
-                    sorter.last_machine.ops,
+                    machine.ops,
                     self.devices[shard.device].gpu,
                     self.mapping,
                 ).total_ms

@@ -57,6 +57,12 @@ from repro.baselines.odd_even_transition import (
 )
 from repro.baselines.periodic_balanced import periodic_balanced_stream
 from repro.core.api import ABiSortConfig, make_sorter
+from repro.exec import resolve_request_tier
+from repro.exec.stream_tier import (
+    CountingStreamMachine,
+    counting_network_run,
+    counting_sort_run,
+)
 from repro.hybrid.disk import SimulatedDisk
 from repro.hybrid.external import ExternalSorter
 from repro.stream.context import StreamMachine
@@ -111,6 +117,12 @@ class ABiSortEngine(SortEngine):
     reuse: layout plans and kernel closures persist, only the per-sort
     streams are fresh).  Non-power-of-two input is padded with +inf keys
     and truncated (Section 4), so ``any_length`` holds.
+
+    Under the ``vectorized`` tier the same driver runs in counting mode
+    (:func:`repro.exec.stream_tier.counting_sort_run`): the op log and
+    counters are produced without executing kernel bodies and one batched
+    argsort forces the output.  Inputs the stream tier cannot cover (NaN
+    keys, duplicate composites) fall back to the reference interpreter.
     """
 
     capabilities = EngineCapabilities(any_length=True, key_value=True, stable=True)
@@ -120,6 +132,15 @@ class ABiSortEngine(SortEngine):
         self.description = description
         self.config = config
         self._sorter = make_sorter(config)
+        self._counting_sorter = make_sorter(
+            config,
+            machine_factory=lambda distinct_io: CountingStreamMachine(
+                distinct_io=distinct_io
+            ),
+        )
+        # Op logs are pure functions of (config, n): repeat lengths replay
+        # cached records instead of re-driving the counting sorter.
+        self._oplog_memo: dict = {}
 
     def _run(self, values, request):
         from repro.workloads.records import pad_to_power_of_two
@@ -127,10 +148,19 @@ class ABiSortEngine(SortEngine):
         n = values.shape[0]
         if n & (n - 1):
             padded, orig = pad_to_power_of_two(values)
-            out = self._sorter.sort(padded)[:orig]
         else:
-            out = self._sorter.sort(values)
-        machine = self._sorter.last_machine
+            padded, orig = values, n
+        out = machine = None
+        if resolve_request_tier(request) == "vectorized":
+            fast = counting_sort_run(
+                self._counting_sorter, padded, memo=self._oplog_memo
+            )
+            if fast is not None:
+                out, machine = fast
+                out = out[:orig]
+        if machine is None:
+            out = self._sorter.sort(padded)[:orig]
+            machine = self._sorter.last_machine
         return out, _machine_telemetry(machine, request, tiled=False), machine
 
 
@@ -204,7 +234,11 @@ class NetworkEngine(SortEngine):
 
     Power-of-two input only, as for the GPU implementations these stand in
     for; modeled time uses the GPU's fixed software-tiling read efficiency
-    (the GPUSort B=64 modeling convention).
+    (the GPUSort B=64 modeling convention).  Under the ``vectorized`` tier
+    the network program runs in counting mode
+    (:func:`repro.exec.stream_tier.counting_network_run`) with the output
+    forced by one batched argsort; networks are not stable, so inputs with
+    duplicate (key, id) composites stay on the reference interpreter.
     """
 
     capabilities = EngineCapabilities(any_length=False, key_value=True, stable=True)
@@ -215,7 +249,13 @@ class NetworkEngine(SortEngine):
         self._stream_sorter = stream_sorter
 
     def _run(self, values, request):
-        out, machine = self._stream_sorter(values)
+        out = machine = None
+        if resolve_request_tier(request) == "vectorized":
+            fast = counting_network_run(self._stream_sorter, values)
+            if fast is not None:
+                out, machine = fast
+        if machine is None:
+            out, machine = self._stream_sorter(values)
         return out, _machine_telemetry(machine, request, tiled=True), machine
 
 

@@ -19,7 +19,12 @@ fast-analytical / cycle-accurate split:
 ``vectorized``
     Whole-array numpy execution of the same algorithms: k runs merge as
     a tournament of ``np.searchsorted`` block merges, run formation
-    memoizes the data-independent modeled GPU time per chunk shape.  The
+    memoizes the data-independent modeled GPU time per chunk shape, and
+    whole stream-kernel passes -- the ABiSort bitonic-tree levels,
+    network columns, and layout remaps -- execute as batched array ops
+    through the *stream tier* (:mod:`repro.exec.stream_tier`): the
+    unchanged drivers run on a counting machine that reproduces the op
+    log closed-form while one composite argsort forces the output.  The
     tier for serving.
 
 **The contract both tiers honor:** output is bit-identical and modeled
@@ -54,6 +59,7 @@ __all__ = [
     "default_tier",
     "set_default_tier",
     "resolve_tier",
+    "resolve_request_tier",
     "get_backend",
 ]
 
@@ -95,6 +101,20 @@ def resolve_tier(tier: str | None) -> str:
             f"known tiers: {', '.join(EXEC_TIERS)}"
         )
     return tier
+
+
+def resolve_request_tier(request) -> str:
+    """The tier a sort request actually runs under -- the planner's rule.
+
+    An explicit ``request.exec_tier`` wins; otherwise traced requests pin
+    the reference tier (so op-log consumers see identical traces,
+    gather traces included) and everything else takes the process
+    default.  ``request`` is duck-typed on ``exec_tier`` / ``trace`` so
+    both :class:`repro.engines.base.SortRequest` and plan objects work.
+    """
+    return resolve_tier(
+        request.exec_tier or ("reference" if request.trace else None)
+    )
 
 
 def get_backend(tier: str | None = None) -> ExecutionBackend:

@@ -173,10 +173,12 @@ class ExternalSorter:
     exec_tier:
         Execution tier (see :mod:`repro.exec`): ``"reference"`` runs the
         per-element loser-tree merge and sorts every chunk on the stream
-        machine; ``"vectorized"`` merges with numpy and memoizes the
-        (data-independent) modeled GPU time per chunk shape, first chunk
-        of each shape exact.  ``None`` uses the process default.  Output,
-        disk statistics, and modeled times are identical across tiers.
+        interpreter; ``"vectorized"`` merges with numpy, sorts chunks in
+        counting mode (:mod:`repro.exec.stream_tier`, batched argsort +
+        closed-form op log), and memoizes the (data-independent) modeled
+        GPU time per chunk shape.  ``None`` uses the process default.
+        Output, disk statistics, and modeled times are identical across
+        tiers.
     """
 
     def __init__(
@@ -206,6 +208,20 @@ class ExternalSorter:
         #: instance only (config, gpu, and mapping are fixed per instance,
         #: and the op log of a sort depends only on its length).
         self._gpu_ms_memo: dict[int, float] = {}
+        #: Lazily-built counting-mode sorter (vectorized tier only).
+        self._counting_sorter = None
+
+    def _counting(self):
+        if self._counting_sorter is None:
+            from repro.exec.stream_tier import CountingStreamMachine
+
+            self._counting_sorter = make_sorter(
+                self.config,
+                machine_factory=lambda distinct_io: CountingStreamMachine(
+                    distinct_io=distinct_io
+                ),
+            )
+        return self._counting_sorter
 
     def _tier(self) -> str:
         from repro.exec import resolve_tier
@@ -260,10 +276,20 @@ class ExternalSorter:
                     sorted_chunk = reference_sort(padded)[:orig]
                     report.gpu_modeled_ms += memo_ms
                 else:
-                    sorter = make_sorter(self.config)
-                    sorted_chunk = sorter.sort(padded)[:orig]
+                    machine = None
+                    if fast:
+                        from repro.exec.stream_tier import counting_sort_run
+
+                        res = counting_sort_run(self._counting(), padded)
+                        if res is not None:
+                            sorted_full, machine = res
+                    if machine is None:
+                        sorter = make_sorter(self.config)
+                        sorted_full = sorter.sort(padded)
+                        machine = sorter.last_machine
+                    sorted_chunk = sorted_full[:orig]
                     chunk_ms = estimate_gpu_time_ms(
-                        sorter.last_machine.ops, self.gpu, self.mapping
+                        machine.ops, self.gpu, self.mapping
                     ).total_ms
                     self._gpu_ms_memo[padded.shape[0]] = chunk_ms
                     report.gpu_modeled_ms += chunk_ms

@@ -34,7 +34,7 @@ from repro.engines import registry
 from repro.engines.base import SortRequest
 from repro.engines.cost import CostEstimate, RequestShape, request_shape
 from repro.errors import EngineError
-from repro.exec import default_tier, resolve_tier
+from repro.exec import resolve_request_tier
 
 __all__ = [
     "PlanCandidate",
@@ -218,10 +218,7 @@ class Planner:
         )
         # Tier rule: honour an explicit request, otherwise trade the
         # vectorized tier's speed away only when the caller wants traces.
-        exec_tier = resolve_tier(
-            request.exec_tier
-            or ("reference" if request.trace else default_tier())
-        )
+        exec_tier = resolve_request_tier(request)
         plan = SortPlan(
             shape=shape,
             engine=best.engine,

@@ -25,6 +25,20 @@ gather stream.  The Brook-style mode (``distinct_io=False``) permits it and
 relies on the read-before-write semantics that the kernel machinery provides
 anyway.  The faithful Listing-5 implementation runs in Brook mode; the GPU
 drivers run with ping-pong/copy-back and pass in GPU mode.
+
+Execution hook
+--------------
+
+Every stream operation is split into two halves: *validation and logging*
+(always performed here, identically) and *execution* (the data movement and
+kernel-body evaluation), which is routed through the overridable methods
+:meth:`StreamMachine._execute_kernel`, :meth:`StreamMachine._execute_copy`,
+and :meth:`StreamMachine._execute_copy_values`.  This is the machine-level
+hook of the vectorized stream execution tier: a subclass
+(:class:`repro.exec.stream_tier.CountingStreamMachine`) replaces execution
+with closed-form traffic accounting while the validation sequence, the
+:class:`StreamOpRecord` log, and :class:`MachineCounters` stay identical by
+construction.
 """
 
 from __future__ import annotations
@@ -245,15 +259,9 @@ class StreamMachine:
                     )
             out_ports[pname] = _OutputPort(sub, per, value_only)
 
-        stats = KernelStats(instances=instances)
-        trace: list[np.ndarray] | None = [] if self.trace_gathers else None
-        ctx = KernelContext(
-            instances, in_ports, gathers, iter_ports, consts, out_ports, stats, trace
+        stats = self._execute_kernel(
+            name, instances, body, in_ports, gathers, iter_ports, consts, out_ports
         )
-        body(ctx)
-        finalize_kernel(instances, in_ports, out_ports, stats)
-        if trace is not None:
-            self.gather_traces.append((name, trace))
 
         record = StreamOpRecord(
             index=len(self.ops),
@@ -279,6 +287,61 @@ class StreamMachine:
         self.ops.append(record)
         return record
 
+    # -- execution hook (see module docstring) -------------------------------
+
+    def _execute_kernel(
+        self,
+        name: str,
+        instances: int,
+        body: KernelBody,
+        in_ports: dict[str, _InputPort],
+        gathers: dict[str, Stream],
+        iter_ports: dict[str, _IterPort],
+        consts: dict[str, np.ndarray],
+        out_ports: dict[str, _OutputPort],
+    ) -> KernelStats:
+        """Run one validated kernel launch and return its traffic stats.
+
+        The reference implementation: evaluate ``body`` over a
+        :class:`KernelContext` (counting traffic as the body reads and
+        pushes) and commit the pushes.  Subclasses may replace this with
+        closed-form accounting, provided the returned stats -- and the
+        streams' observable *op log* -- are identical.
+        """
+        stats = KernelStats(instances=instances)
+        trace: list[np.ndarray] | None = [] if self.trace_gathers else None
+        ctx = KernelContext(
+            instances, in_ports, gathers, iter_ports, consts, out_ports, stats, trace
+        )
+        body(ctx)
+        finalize_kernel(instances, in_ports, out_ports, stats)
+        if trace is not None:
+            self.gather_traces.append((name, trace))
+        return stats
+
+    def _execute_copy(self, src: Substream, dst: Substream) -> None:
+        """Move the data of one validated :meth:`copy` operation."""
+        data = src.gather_view()
+        if data.base is src.stream.data or data.base is None:
+            data = data.copy()
+        dst.write(data)
+
+    def _execute_copy_values(self, src: Substream, dst: Substream) -> None:
+        """Move the key/id payload of one validated :meth:`copy_values`."""
+        from repro.stream.stream import VALUE_DTYPE  # local to avoid cycle
+
+        raw = src.gather_view()
+        # Both node and value dtypes expose key/id fields.
+        keys, ids = raw["key"].copy(), raw["id"].copy()
+        if dst.stream.dtype == VALUE_DTYPE:
+            vals = np.empty(len(dst), dtype=VALUE_DTYPE)
+            vals["key"] = keys
+            vals["id"] = ids
+            dst.write(vals)
+        else:
+            dst.write_field("key", keys)
+            dst.write_field("id", ids)
+
     def copy(
         self,
         src: Substream,
@@ -302,10 +365,7 @@ class StreamMachine:
                 "copy source and destination overlap; GPU streams must be "
                 "distinct (Section 6.1)"
             )
-        data = src.gather_view()
-        if data.base is src.stream.data or data.base is None:
-            data = data.copy()
-        dst.write(data)
+        self._execute_copy(src, dst)
         nbytes = len(src) * src.stream.itemsize
         record = StreamOpRecord(
             index=len(self.ops),
@@ -353,17 +413,7 @@ class StreamMachine:
             )
         from repro.stream.stream import VALUE_DTYPE  # local to avoid cycle
 
-        raw = src.gather_view()
-        # Both node and value dtypes expose key/id fields.
-        keys, ids = raw["key"].copy(), raw["id"].copy()
-        if dst.stream.dtype == VALUE_DTYPE:
-            vals = np.empty(len(dst), dtype=VALUE_DTYPE)
-            vals["key"] = keys
-            vals["id"] = ids
-            dst.write(vals)
-        else:
-            dst.write_field("key", keys)
-            dst.write_field("id", ids)
+        self._execute_copy_values(src, dst)
         nbytes = len(src) * VALUE_DTYPE.itemsize
         record = StreamOpRecord(
             index=len(self.ops),

@@ -31,6 +31,7 @@ model in :mod:`repro.stream.cache`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -86,6 +87,27 @@ def morton_decode(a: np.ndarray | int) -> tuple:
     """
     a = np.uint64(a) if np.isscalar(a) else np.asarray(a).astype(np.uint64)
     return compact1by1(a), compact1by1(a >> np.uint64(1))
+
+
+def _compact1by1_int(x: int) -> int:
+    """:func:`compact1by1` on a plain Python int (the block-rect hot path).
+
+    Bit-for-bit the same masks and shifts; native ints avoid the numpy
+    scalar-ufunc overhead that dominates per-block footprint queries in
+    the cost model.
+    """
+    x &= 0x5555555555555555
+    x = (x | (x >> 1)) & 0x3333333333333333
+    x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0F
+    x = (x | (x >> 4)) & 0x00FF00FF00FF00FF
+    x = (x | (x >> 8)) & 0x0000FFFF0000FFFF
+    x = (x | (x >> 16)) & 0x00000000FFFFFFFF
+    return x
+
+
+def _morton_decode_int(a: int) -> tuple[int, int]:
+    """Scalar :func:`morton_decode` on plain Python ints."""
+    return _compact1by1_int(a), _compact1by1_int(a >> 1)
 
 
 @dataclass(frozen=True)
@@ -156,25 +178,30 @@ class RowWiseMapping(Mapping2D):
 
     def block_rects(self, start: int, length: int) -> list[Rect]:
         """Row strips / full-line rectangles of the block (Section 6.2.1)."""
-        w = self.width
-        rects: list[Rect] = []
-        a = int(start)
-        remaining = int(length)
-        while remaining > 0:
-            x = a % w
-            y = a // w
-            span = min(remaining, w - x)
-            # Coalesce full rows into one rectangle.
-            if x == 0 and remaining >= w:
-                rows = remaining // w
-                rects.append(Rect(0, y, w, rows))
-                a += rows * w
-                remaining -= rows * w
-            else:
-                rects.append(Rect(x, y, span, 1))
-                a += span
-                remaining -= span
-        return rects
+        return list(_rowwise_block_rects(self.width, int(start), int(length)))
+
+
+@lru_cache(maxsize=1 << 16)
+def _rowwise_block_rects(w: int, start: int, length: int) -> tuple[Rect, ...]:
+    """Cached row-wise footprint (:class:`Rect` is immutable, safe to share)."""
+    rects: list[Rect] = []
+    a = start
+    remaining = length
+    while remaining > 0:
+        x = a % w
+        y = a // w
+        span = min(remaining, w - x)
+        # Coalesce full rows into one rectangle.
+        if x == 0 and remaining >= w:
+            rows = remaining // w
+            rects.append(Rect(0, y, w, rows))
+            a += rows * w
+            remaining -= rows * w
+        else:
+            rects.append(Rect(x, y, span, 1))
+            a += span
+            remaining -= span
+    return tuple(rects)
 
 
 class ZOrderMapping(Mapping2D):
@@ -196,37 +223,43 @@ class ZOrderMapping(Mapping2D):
         length = int(length)
         if length <= 0:
             raise ModelError("block length must be positive")
-        if _is_pow2(length) and start % length == 0:
-            # The aligned power-of-two case of the paper's propositions:
-            # a single square or 2:1 rectangle.
-            sx, sy = morton_decode(start)
-            lx, ly = morton_decode(length - 1) if length > 1 else (0, 0)
-            return [Rect(int(sx), int(sy), int(lx) + 1, int(ly) + 1)]
-        # General case: split into maximal aligned power-of-two sub-blocks
-        # (each of which is a rectangle) -- the standard Z-order range
-        # decomposition.
-        rects: list[Rect] = []
-        a = start
-        remaining = length
-        while remaining > 0:
-            max_align = a & -a if a else 1 << 62
-            size = 1
-            while size * 2 <= remaining and size * 2 <= max_align:
-                size *= 2
-            if size > max_align:
-                size = max_align
-            size = min(size, remaining)
-            # Reduce to an aligned power of two.
-            p = 1
-            while p * 2 <= size:
-                p *= 2
-            size = p
-            sx, sy = morton_decode(a)
-            lx, ly = morton_decode(size - 1) if size > 1 else (0, 0)
-            rects.append(Rect(int(sx), int(sy), int(lx) + 1, int(ly) + 1))
-            a += size
-            remaining -= size
-        return rects
+        return list(_zorder_block_rects(start, length))
+
+
+@lru_cache(maxsize=1 << 16)
+def _zorder_block_rects(start: int, length: int) -> tuple[Rect, ...]:
+    """Cached Z-order footprint (parameter-free: one cache serves all)."""
+    if _is_pow2(length) and start % length == 0:
+        # The aligned power-of-two case of the paper's propositions:
+        # a single square or 2:1 rectangle.
+        sx, sy = _morton_decode_int(start)
+        lx, ly = _morton_decode_int(length - 1) if length > 1 else (0, 0)
+        return (Rect(sx, sy, lx + 1, ly + 1),)
+    # General case: split into maximal aligned power-of-two sub-blocks
+    # (each of which is a rectangle) -- the standard Z-order range
+    # decomposition.
+    rects: list[Rect] = []
+    a = start
+    remaining = length
+    while remaining > 0:
+        max_align = a & -a if a else 1 << 62
+        size = 1
+        while size * 2 <= remaining and size * 2 <= max_align:
+            size *= 2
+        if size > max_align:
+            size = max_align
+        size = min(size, remaining)
+        # Reduce to an aligned power of two.
+        p = 1
+        while p * 2 <= size:
+            p *= 2
+        size = p
+        sx, sy = _morton_decode_int(a)
+        lx, ly = _morton_decode_int(size - 1) if size > 1 else (0, 0)
+        rects.append(Rect(sx, sy, lx + 1, ly + 1))
+        a += size
+        remaining -= size
+    return tuple(rects)
 
 
 def assert_layout_block_is_mappable(start: int, length: int, width: int) -> None:

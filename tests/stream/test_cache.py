@@ -185,3 +185,105 @@ def test_gather_trace_vs_measured_constants():
         measured = sim.bandwidth_efficiency
         baked = MEASURED_GATHER_EFFICIENCY[name]
         assert measured == pytest.approx(baked, rel=0.35), (name, measured)
+
+
+class TestVectorizedAccessEquality:
+    """The stack-distance fast path equals the dict replay *exactly*.
+
+    ``access`` dispatches long run sequences to the offline LRU solver
+    (:meth:`TextureCacheSim._apply_runs_vectorized`); these tests force
+    that path (``VECTOR_MIN_RUNS = 0``, tiny segment sizes) and compare
+    every observable -- hit/miss counters *and* the resident set with its
+    LRU ordering -- against ``_access_reference``, the pre-vectorization
+    coalesce + dict replay kept verbatim for this purpose.
+    """
+
+    @staticmethod
+    def _twin_sims(cfg):
+        fast = TextureCacheSim(cfg)
+        fast.VECTOR_MIN_RUNS = 0  # force the stack-distance path
+        slow = TextureCacheSim(cfg)
+        return fast, slow
+
+    @staticmethod
+    def _assert_state_equal(fast, slow, context):
+        assert fast.hits == slow.hits, context
+        assert fast.misses == slow.misses, context
+        assert list(fast._lru) == list(slow._lru), context
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_traces(self, seed):
+        rng = np.random.default_rng(seed)
+        cfg = CacheConfig(
+            block=int(2 ** rng.integers(0, 4)),
+            capacity_blocks=int(rng.integers(1, 40)),
+        )
+        fast, slow = self._twin_sims(cfg)
+        fast.VECTOR_SEGMENT_RUNS = int(rng.integers(2, 64))  # force segments
+        for call in range(4):  # stateful: LRU carries across calls
+            n = int(rng.integers(0, 600))
+            span = int(rng.integers(1, 50)) * cfg.block
+            ax = rng.integers(0, span, size=n)
+            ay = rng.integers(0, span, size=n)
+            fast.access(ax, ay)
+            slow._access_reference(ax, ay)
+            self._assert_state_equal(fast, slow, (seed, call))
+
+    @pytest.mark.parametrize("pattern", ["linear", "revisit", "thrash"])
+    def test_structured_traces(self, pattern):
+        cfg = CacheConfig(block=4, capacity_blocks=8)
+        fast, slow = self._twin_sims(cfg)
+        fast.VECTOR_SEGMENT_RUNS = 16
+        n = 2000
+        if pattern == "linear":
+            ax = np.arange(n) % 256
+            ay = np.arange(n) // 256
+        elif pattern == "revisit":
+            ax = np.tile(np.arange(64), n // 64)
+            ay = np.zeros(ax.shape[0], dtype=np.int64)
+        else:  # thrash: working set just over capacity
+            ax = np.arange(n) % (cfg.block * (cfg.capacity_blocks + 1))
+            ay = np.zeros(n, dtype=np.int64)
+        fast.access(ax, ay)
+        slow._access_reference(ax, ay)
+        self._assert_state_equal(fast, slow, pattern)
+
+    def test_resident_prefix_continuity(self):
+        """A warm cache must influence the first vectorized segment."""
+        cfg = CacheConfig(block=1, capacity_blocks=4)
+        fast, slow = self._twin_sims(cfg)
+        warm = np.array([0, 1, 2, 3])
+        fast.access(warm, np.zeros(4, dtype=np.int64))
+        slow._access_reference(warm, np.zeros(4, dtype=np.int64))
+        # Re-touching the warm blocks must be all hits on both paths.
+        fast.access(warm[::-1], np.zeros(4, dtype=np.int64))
+        slow._access_reference(warm[::-1], np.zeros(4, dtype=np.int64))
+        self._assert_state_equal(fast, slow, "warm")
+        assert fast.misses == 4 and fast.hits == 4
+
+    def test_guard_falls_back_outside_key_range(self):
+        """Negative or huge coordinates stay on the dict loop (and agree)."""
+        cfg = CacheConfig(block=1, capacity_blocks=2)
+        fast, slow = self._twin_sims(cfg)
+        ax = np.array([-5, -5, 3, -5] * 300)
+        ay = np.array([0, 0, 1, 0] * 300)
+        fast.access(ax, ay)
+        slow._access_reference(ax, ay)
+        self._assert_state_equal(fast, slow, "negative")
+
+
+class TestCountLeftLeq:
+    def test_brute_force(self):
+        from repro.stream.cache import _count_left_leq
+
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            n = int(rng.integers(0, 70))
+            # The access-path domain: prev-occurrence indexes in [-1, n).
+            v = rng.integers(-1, max(n, 1), size=n)
+            got = _count_left_leq(v)
+            want = np.array(
+                [np.count_nonzero(v[:i] <= v[i]) for i in range(n)],
+                dtype=np.int64,
+            )
+            assert np.array_equal(got, want), v
