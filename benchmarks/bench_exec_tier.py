@@ -33,6 +33,7 @@ from repro.cluster.sharded import merge_sorted_runs
 from repro.hybrid.disk import SimulatedDisk
 from repro.hybrid.external import ExternalSorter
 from repro.stream.stream import VALUE_DTYPE
+from repro.workloads.rng import seeded_rng
 
 MERGE_N = 1 << 20
 KS = (2, 8, 32)
@@ -59,7 +60,7 @@ def _sorted_runs(n: int, k: int, rng) -> list[np.ndarray]:
 
 
 def test_merge_speedup_and_identity(benchmark, bench_json):
-    rng = np.random.default_rng(7806)
+    rng = seeded_rng(7806)
     inputs = {k: _sorted_runs(MERGE_N, k, rng) for k in KS}
 
     def run_all():
@@ -110,7 +111,7 @@ def test_merge_speedup_and_identity(benchmark, bench_json):
 
 
 def test_external_pipeline_identity(benchmark, bench_json):
-    rng = np.random.default_rng(7806)
+    rng = seeded_rng(7806)
     values = np.empty(EXTERNAL_N, dtype=VALUE_DTYPE)
     values["key"] = rng.random(EXTERNAL_N, dtype=np.float32)
     values["id"] = np.arange(EXTERNAL_N, dtype=np.uint32)

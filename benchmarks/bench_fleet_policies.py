@@ -1,0 +1,144 @@
+"""E29 -- fleet scheduling policies under the burst scenario, gated.
+
+The fleet claim (docs/fleet.md): under a bursty multi-tenant load,
+weighted fair sharing protects light low-priority tenants where strict
+priority starves them, without giving up cross-tenant fairness.  Both
+halves are gated on the committed ``burst`` scenario (seed 0, the same
+artifact ``tests/fleet`` replays against its goldens):
+
+1.  **Fairness.**  Jain's index over per-tenant mean slowdown for the
+    ``weighted-fair`` replay must reach :data:`GATE` (default 0.9; CI can
+    relax via ``REPRO_FLEET_GATE``), and must beat ``fifo-priority``.
+2.  **Tail protection.**  The ``background`` tenant's p99 wait under
+    ``weighted-fair`` must beat its p99 under ``fifo-priority``.
+
+Replays are virtual-time, so every number here except the wall-clock
+replay rate is bit-stable across machines.  Results land in
+``BENCH_fleet_policies.json`` at the repository root (see
+``TRACKED_BENCHES``): committed history of the policy comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.fleet import compare_policies
+from repro.workloads.traces import scenario_trace
+
+SEED = 0
+DEVICES = 4
+#: Required Jain fairness (mean-slowdown shares) for weighted-fair on
+#: the burst scenario.  The default is the acceptance bar.
+GATE = float(os.environ.get("REPRO_FLEET_GATE", "0.9"))
+
+
+def _policy_rows(reports):
+    rows = {}
+    for name, report in reports.items():
+        rows[name] = {
+            "fairness": report.fairness,
+            "makespan_ms": report.makespan_ms,
+            "completed": report.completed,
+            "evicted": report.evicted,
+            "preemptions": report.preemptions,
+            "tenants": {
+                t.name: {
+                    "mean_wait_ms": t.mean_wait_ms,
+                    "p99_wait_ms": t.p99_wait_ms,
+                    "mean_slowdown": t.mean_slowdown,
+                }
+                for t in report.tenants
+            },
+        }
+    return rows
+
+
+def test_burst_policy_comparison(benchmark, bench_json):
+    trace = scenario_trace("burst", seed=SEED)
+
+    def run():
+        start = time.perf_counter()
+        reports = compare_policies(trace, devices=DEVICES)
+        elapsed = time.perf_counter() - start
+        return reports, elapsed
+
+    reports, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = _policy_rows(reports)
+    replays_per_s = len(reports) / elapsed
+    bench_json(
+        scenario="burst",
+        seed=SEED,
+        devices=DEVICES,
+        requests=len(trace),
+        gate=GATE,
+        rows=rows,
+        wall_s=elapsed,
+        replays_per_s=replays_per_s,
+    )
+
+    wfs, fifo = rows["weighted-fair"], rows["fifo-priority"]
+    print(
+        f"\nburst scenario (seed {SEED}, {len(trace)} requests, "
+        f"{DEVICES} devices), {len(rows)} replays in {elapsed * 1e3:.0f} ms:"
+    )
+    for name, row in sorted(rows.items()):
+        bg = row["tenants"]["background"]
+        print(
+            f"  {name:>14}: fairness {row['fairness']:.3f}  "
+            f"background p99 {bg['p99_wait_ms']:8.2f} ms  "
+            f"preemptions {row['preemptions']:3d}"
+        )
+
+    wfs_p99 = wfs["tenants"]["background"]["p99_wait_ms"]
+    fifo_p99 = fifo["tenants"]["background"]["p99_wait_ms"]
+    assert wfs_p99 < fifo_p99, (
+        f"weighted-fair must protect the background tenant's tail: "
+        f"p99 {wfs_p99:.2f} ms vs fifo {fifo_p99:.2f} ms"
+    )
+    assert wfs["fairness"] >= GATE, (
+        f"weighted-fair Jain fairness {wfs['fairness']:.3f} below the "
+        f"{GATE} gate"
+    )
+    assert wfs["fairness"] > fifo["fairness"], (
+        "weighted-fair must beat fifo-priority on Jain fairness"
+    )
+
+
+def test_flood_quota_and_eviction(benchmark, bench_json):
+    trace = scenario_trace("flood", seed=SEED)
+
+    def run():
+        return compare_policies(trace, devices=DEVICES, queue_bound=32)
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = _policy_rows(reports)
+    bench_json(
+        scenario="flood",
+        seed=SEED,
+        devices=DEVICES,
+        queue_bound=32,
+        requests=len(trace),
+        rows=rows,
+    )
+
+    print(f"\nflood scenario (seed {SEED}, {len(trace)} requests):")
+    for name, row in sorted(rows.items()):
+        bully = row["tenants"]["bully"]
+        print(
+            f"  {name:>14}: bully slowdown {bully['mean_slowdown']:7.2f}  "
+            f"evicted {row['evicted']:3d}"
+        )
+    for name, row in rows.items():
+        # The bully floods past its quota and queue bound: every policy
+        # must shed its excess instead of letting other tenants starve.
+        assert row["evicted"] > 0, f"{name}: flood never forced eviction"
+        others = [
+            t
+            for tenant, t in row["tenants"].items()
+            if tenant != "bully" and t["mean_slowdown"] > 0
+        ]
+        bully = row["tenants"]["bully"]
+        assert all(
+            t["mean_slowdown"] < bully["mean_slowdown"] for t in others
+        ), f"{name}: quota failed to cap the flooding tenant"

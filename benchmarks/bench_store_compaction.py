@@ -28,6 +28,7 @@ import numpy as np
 
 import repro
 from repro.store import SortedStore, plan_compaction
+from repro.workloads.rng import seeded_rng
 
 BATCHES = 8
 BATCH_SIZE = 1 << 15
@@ -50,7 +51,7 @@ def _windows(rng):
 def test_compacted_queries_beat_resort_per_query(
     benchmark, bench_json, tmp_path
 ):
-    rng = np.random.default_rng(20060425)
+    rng = seeded_rng(20060425)
     batches = [rng.random(BATCH_SIZE, dtype=np.float32) for _ in range(BATCHES)]
     store = SortedStore(tmp_path / "bench-store", engine="cpu-std")
     for keys in batches:
@@ -104,7 +105,7 @@ def test_compacted_queries_beat_resort_per_query(
 
 
 def test_planner_fan_in_within_5pct_of_bruteforce(benchmark, bench_json, tmp_path):
-    rng = np.random.default_rng(20060425)
+    rng = seeded_rng(20060425)
     batches = [
         rng.random(SWEEP_RUN_PAIRS, dtype=np.float32) for _ in range(SWEEP_RUNS)
     ]

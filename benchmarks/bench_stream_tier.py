@@ -45,6 +45,7 @@ from repro.stream.cache import CacheConfig, TextureCacheSim
 from repro.stream.gpu_model import GEFORCE_7800_GTX, estimate_gpu_time_ms
 from repro.stream.mapping2d import ZOrderMapping
 from repro.stream.stream import VALUE_DTYPE
+from repro.workloads.rng import seeded_rng
 
 SIZES = (1 << 12, 1 << 14, 1 << 16)
 GATE_N = 1 << 16
@@ -116,7 +117,7 @@ def _timed_sort(values: np.ndarray, tier: str, engine: str):
 
 
 def test_abisort_speedup_and_identity(benchmark, bench_json):
-    rng = np.random.default_rng(7806)
+    rng = seeded_rng(7806)
     inputs = {n: _values(n, rng) for n in SIZES}
 
     def run_all():
@@ -161,7 +162,7 @@ def test_abisort_speedup_and_identity(benchmark, bench_json):
 
 def test_auto_engine_end_to_end(benchmark, bench_json):
     """The planner path: tier pinned per request, identity end to end."""
-    rng = np.random.default_rng(7806)
+    rng = seeded_rng(7806)
     values = _values(GATE_N, rng)
 
     def run_both():

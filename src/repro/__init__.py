@@ -56,7 +56,7 @@ from repro.core.api import (
 )
 from repro.core.abisort import GPUABiSorter
 from repro.core.optimized import OptimizedGPUABiSorter
-from repro import cluster, engines, planner, service, store
+from repro import cluster, engines, fleet, planner, service, store
 from repro.engines import (
     BatchResult,
     EngineCapabilities,
@@ -67,6 +67,7 @@ from repro.engines import (
     sort,
     sort_batch,
 )
+from repro.fleet import FleetReport, Tenant, Trace
 from repro.planner import BatchPlan, Planner, SortPlan
 from repro.service import ServiceConfig, SortService
 from repro.store import SortedStore, StoreConfig
@@ -89,7 +90,7 @@ def plan(request, **kwargs):
     return chosen.plan(_as_request(request))
 
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ReproError",
@@ -115,9 +116,13 @@ __all__ = [
     "OptimizedGPUABiSorter",
     "engines",
     "cluster",
+    "fleet",
     "planner",
     "service",
     "store",
+    "FleetReport",
+    "Tenant",
+    "Trace",
     "SortService",
     "ServiceConfig",
     "SortedStore",

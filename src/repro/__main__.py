@@ -318,6 +318,83 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``fleet``: multi-tenant trace generation, replay, and comparison.
+
+    Sub-actions: ``generate`` writes a named scenario trace as NDJSON,
+    ``replay`` runs one trace (a file or a named scenario) under one
+    policy and prints the per-tenant report, ``compare`` replays the same
+    trace under every built-in policy side by side, and ``policies``
+    lists the built-ins.  Everything is virtual-time and seeded, so two
+    replays of the same trace print identical numbers.
+    """
+    import json as _json
+
+    from repro.analysis.cluster_report import format_fleet_report
+    from repro.fleet import Autoscaler, compare_policies, replay
+    from repro.fleet.policy import POLICIES
+    from repro.workloads.traces import Trace, scenario_trace
+
+    if args.action == "policies":
+        for name in sorted(POLICIES):
+            print(f"{name:<16} {POLICIES[name].__doc__.splitlines()[0]}")
+        return 0
+
+    if args.action == "generate":
+        trace = scenario_trace(
+            args.scenario, seed=args.seed, duration_ms=args.duration_ms
+        )
+        path = trace.save(args.out)
+        print(
+            f"wrote {len(trace)} requests / {len(trace.tenants)} tenants "
+            f"({trace.name!r}, seed {trace.seed}) to {path}"
+        )
+        return 0
+
+    if args.trace is not None:
+        trace = Trace.load(args.trace)
+    else:
+        trace = scenario_trace(
+            args.scenario, seed=args.seed, duration_ms=args.duration_ms
+        )
+    autoscaler = None
+    if args.autoscale:
+        autoscaler = Autoscaler(
+            min_devices=args.min_devices, max_devices=args.max_devices
+        )
+    if args.action == "replay":
+        report = replay(
+            trace,
+            args.policy,
+            devices=args.devices,
+            autoscaler=autoscaler,
+            queue_bound=args.queue_bound,
+        )
+        if args.json:
+            print(_json.dumps(report.to_json(), indent=2))
+        else:
+            print(format_fleet_report(report))
+    else:  # compare
+        reports = compare_policies(
+            trace,
+            devices=args.devices,
+            autoscaler=autoscaler,
+            queue_bound=args.queue_bound,
+        )
+        if args.json:
+            print(
+                _json.dumps(
+                    {name: r.to_json() for name, r in reports.items()},
+                    indent=2,
+                )
+            )
+        else:
+            for name, report in reports.items():
+                print(format_fleet_report(report))
+                print()
+    return 0
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     """``plan``: explain the planner's decision without sorting.
 
@@ -667,6 +744,50 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execution tier of query/compaction merges "
                              "(default: the process default, vectorized)")
     p_store.set_defaults(func=cmd_store)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="multi-tenant fleet: trace generate/replay/compare"
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="action", required=True)
+    fl_gen = fleet_sub.add_parser(
+        "generate", help="write a named scenario trace as NDJSON"
+    )
+    fl_gen.add_argument("--out", required=True, help="output NDJSON path")
+    fl_rep = fleet_sub.add_parser(
+        "replay", help="replay one trace under one policy"
+    )
+    fl_rep.add_argument("--policy", default="weighted-fair",
+                        help="scheduling policy (see `fleet policies`)")
+    fl_cmp = fleet_sub.add_parser(
+        "compare", help="replay one trace under every built-in policy"
+    )
+    for sp in (fl_gen, fl_rep, fl_cmp):
+        sp.add_argument("--scenario", default="burst",
+                        help="named scenario when no --trace is given "
+                             "(burst, diurnal, flood)")
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--duration-ms", type=float, default=None,
+                        dest="duration_ms",
+                        help="trace length (default: the scenario's own)")
+    for sp in (fl_rep, fl_cmp):
+        sp.add_argument("--trace", default=None,
+                        help="replay this NDJSON trace file instead of a "
+                             "generated scenario")
+        sp.add_argument("--devices", type=int, default=4,
+                        help="modeled device pool size")
+        sp.add_argument("--queue-bound", type=int, default=64,
+                        dest="queue_bound",
+                        help="per-tenant queue depth before eviction")
+        sp.add_argument("--autoscale", action="store_true",
+                        help="let an autoscaler size the pool")
+        sp.add_argument("--min-devices", type=int, default=1,
+                        dest="min_devices")
+        sp.add_argument("--max-devices", type=int, default=8,
+                        dest="max_devices")
+        sp.add_argument("--json", action="store_true",
+                        help="print the machine-readable report instead")
+    fleet_sub.add_parser("policies", help="list the built-in policies")
+    p_fleet.set_defaults(func=cmd_fleet)
 
     p_fig = sub.add_parser("figures", help="regenerate paper figures")
     p_fig.add_argument("which", nargs="?", default="all",

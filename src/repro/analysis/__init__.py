@@ -39,6 +39,7 @@ from repro.analysis.timing import (
 )
 from repro.analysis.cluster_report import (
     format_cluster_schedule,
+    format_fleet_report,
     format_sharded_result,
 )
 from repro.analysis.merge_trace import format_merge_trace, trace_level_merge
@@ -66,6 +67,7 @@ __all__ = [
     "table2_rows",
     "table3_rows",
     "format_cluster_schedule",
+    "format_fleet_report",
     "format_sharded_result",
     "format_merge_trace",
     "trace_level_merge",

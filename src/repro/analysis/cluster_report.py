@@ -10,7 +10,9 @@ the same stages with no overlap and no device parallelism.
 :func:`format_service_stats` gives the matching lifetime report for a
 :class:`repro.service.ServiceStats` record (``python -m repro serve``
 prints it on shutdown), and :func:`format_store_stats` the one for a
-:class:`repro.store.StoreStats` record (``python -m repro store stats``).
+:class:`repro.store.StoreStats` record (``python -m repro store stats``),
+and :func:`format_fleet_report` the per-tenant table for a
+:class:`repro.fleet.FleetReport` (``python -m repro fleet replay``).
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ __all__ = [
     "format_sharded_result",
     "format_service_stats",
     "format_store_stats",
+    "format_fleet_report",
 ]
 
 
@@ -159,4 +162,46 @@ def format_store_stats(stats, title: str = "store stats") -> str:
         f"{stats.bytes_read} B read, {stats.seeks} seeks; "
         f"write amplification {stats.write_amplification:.2f}x"
     )
+    return "\n".join(lines)
+
+
+def format_fleet_report(report, title: str = "") -> str:
+    """Per-tenant table plus fleet aggregates for one trace replay.
+
+    One row per tenant -- completions, evictions, preemptions, mean/p99
+    wait, mean slowdown, makespan -- then the fleet-level lines: policy,
+    pool footprint (with the autoscaler timeline when it moved), overall
+    makespan, and the Jain fairness index over per-tenant mean slowdowns.
+    """
+    head = title or (
+        f"fleet replay: trace {report.trace!r} (seed {report.seed}) "
+        f"under {report.policy}"
+    )
+    lines = [head + ":"]
+    width = max((len(t.name) for t in report.tenants), default=6) + 2
+    lines.append(
+        f"  {'tenant':<{width}} {'done':>5} {'evict':>5} {'pre':>4} "
+        f"{'mean wait':>10} {'p99 wait':>10} {'slowdown':>9} "
+        f"{'makespan':>10}"
+    )
+    for t in report.tenants:
+        lines.append(
+            f"  {t.name:<{width}} {t.completed:>5} {t.evicted:>5} "
+            f"{t.preemptions:>4} {t.mean_wait_ms:>8.2f}ms "
+            f"{t.p99_wait_ms:>8.2f}ms {t.mean_slowdown:>9.2f} "
+            f"{t.makespan_ms:>8.1f}ms"
+        )
+    pool = (
+        f"{report.pool_min}"
+        if report.pool_min == report.pool_max
+        else f"{report.pool_min}-{report.pool_max} (autoscaled)"
+    )
+    lines.append(
+        f"  pool: {pool} devices; makespan {report.makespan_ms:.1f} ms; "
+        f"{report.completed}/{report.submitted} completed, "
+        f"{report.evicted} evicted, {report.preemptions} preemptions"
+    )
+    lines.append(f"  fairness (Jain over mean slowdown): {report.fairness:.3f}")
+    if report.telemetry is not None:
+        lines.append("  aggregate telemetry: " + report.telemetry.summary())
     return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Multi-tenant fleet scheduling over the modeled device pool.
+
+The eighth layer of the stack: one :class:`~repro.service.SortService`
+over one device pool is a single cell; production is a *fleet* of tenants
+competing for devices.  This package schedules that competition:
+
+* :mod:`repro.fleet.policy` -- the pluggable
+  :class:`~repro.fleet.policy.SchedulingPolicy` ABC (placement,
+  preemption, eviction hooks) and the three built-ins in
+  :data:`~repro.fleet.policy.POLICIES`: ``fifo-priority``,
+  ``weighted-fair``, ``deadline-edf``;
+* :mod:`repro.fleet.scheduler` -- the virtual-time event-driven
+  :class:`~repro.fleet.scheduler.FleetScheduler` that owns the mechanism
+  invariants (conservation, quotas, preemption budgets) whatever the
+  policy decides;
+* :mod:`repro.fleet.autoscaler` -- reactive pool sizing from queue depth
+  and utilization;
+* :mod:`repro.fleet.harness` -- :func:`~repro.fleet.harness.replay` /
+  :func:`~repro.fleet.harness.compare_policies` /
+  :func:`~repro.fleet.harness.replay_scenario`, the one-call drivers;
+* :mod:`repro.fleet.stats` -- :class:`~repro.fleet.stats.FleetReport`
+  with per-tenant makespan, p99 wait, Jain fairness, and
+  preemption/eviction counters.
+
+Workloads come from :mod:`repro.workloads.traces` (seeded Poisson/MMPP/
+diurnal arrivals, heavy-tailed sizes, NDJSON record/replay); the
+:class:`~repro.workloads.traces.Tenant` record is re-exported here
+because tenants are fleet-level identities.  Faces: this API,
+``python -m repro fleet``, and ``{"op": "fleet"}`` lines on the service
+socket.  See ``docs/fleet.md``.
+"""
+
+from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.harness import compare_policies, replay, replay_scenario
+from repro.fleet.policy import (
+    POLICIES,
+    DeadlineEdfPolicy,
+    FifoPriorityPolicy,
+    SchedulingPolicy,
+    WeightedFairSharePolicy,
+    make_policy,
+)
+from repro.fleet.scheduler import CostOracle, FleetScheduler, Job
+from repro.fleet.stats import FleetReport, TenantStats, jain_index
+from repro.workloads.traces import Tenant, Trace, TraceRequest
+
+__all__ = [
+    "Autoscaler",
+    "replay",
+    "compare_policies",
+    "replay_scenario",
+    "SchedulingPolicy",
+    "FifoPriorityPolicy",
+    "WeightedFairSharePolicy",
+    "DeadlineEdfPolicy",
+    "POLICIES",
+    "make_policy",
+    "FleetScheduler",
+    "CostOracle",
+    "Job",
+    "FleetReport",
+    "TenantStats",
+    "jain_index",
+    "Tenant",
+    "Trace",
+    "TraceRequest",
+]

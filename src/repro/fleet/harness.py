@@ -1,0 +1,102 @@
+"""The trace-replay harness: one call from trace to fleet report.
+
+:func:`replay` runs one trace under one policy;
+:func:`compare_policies` runs the same trace under several (sharing one
+:class:`~repro.fleet.scheduler.CostOracle`, so the planner prices each
+request size once); :func:`replay_scenario` builds a named scenario from
+:data:`repro.workloads.traces.SCENARIOS` first.  All three are thin over
+:class:`~repro.fleet.scheduler.FleetScheduler` -- everything is virtual
+time, so results depend only on (trace, policy, pool parameters) and
+replays are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.policy import POLICIES, SchedulingPolicy
+from repro.fleet.scheduler import CostOracle, FleetScheduler
+from repro.fleet.stats import FleetReport
+from repro.workloads.rng import DEFAULT_SEED
+from repro.workloads.traces import Trace, scenario_trace
+
+__all__ = ["replay", "compare_policies", "replay_scenario"]
+
+
+def replay(
+    trace: Trace,
+    policy: str | SchedulingPolicy = "weighted-fair",
+    *,
+    devices: int = 4,
+    autoscaler: Autoscaler | None = None,
+    queue_bound: int = 64,
+    max_preemptions: int = 2,
+    execute: bool = False,
+    oracle: CostOracle | None = None,
+) -> FleetReport:
+    """Replay ``trace`` under ``policy`` and return the fleet report.
+
+    Parameters mirror :class:`~repro.fleet.scheduler.FleetScheduler`;
+    ``execute=True`` additionally sorts every completed request through
+    the real engine stack (slow, for identity tests), the default keeps
+    execution modeled (costs only).
+    """
+    return FleetScheduler(
+        trace,
+        policy,
+        devices=devices,
+        autoscaler=autoscaler,
+        queue_bound=queue_bound,
+        max_preemptions=max_preemptions,
+        execute=execute,
+        oracle=oracle,
+    ).run()
+
+
+def compare_policies(
+    trace: Trace,
+    policies: list[str] | None = None,
+    *,
+    devices: int = 4,
+    autoscaler: Autoscaler | None = None,
+    queue_bound: int = 64,
+    max_preemptions: int = 2,
+) -> dict[str, FleetReport]:
+    """Replay ``trace`` under each policy (default: every built-in).
+
+    Returns ``{policy name: report}`` in the order given.  One shared
+    cost oracle prices each request size once across all replays.
+    """
+    oracle = CostOracle()
+    return {
+        name: replay(
+            trace,
+            name,
+            devices=devices,
+            autoscaler=autoscaler,
+            queue_bound=queue_bound,
+            max_preemptions=max_preemptions,
+            oracle=oracle,
+        )
+        for name in (policies if policies is not None else sorted(POLICIES))
+    }
+
+
+def replay_scenario(
+    name: str,
+    policy: str | SchedulingPolicy = "weighted-fair",
+    *,
+    seed: int = DEFAULT_SEED,
+    duration_ms: float | None = None,
+    devices: int = 4,
+    autoscaler: Autoscaler | None = None,
+    queue_bound: int = 64,
+) -> FleetReport:
+    """Build the named scenario trace, then :func:`replay` it."""
+    trace = scenario_trace(name, seed=seed, duration_ms=duration_ms)
+    return replay(
+        trace,
+        policy,
+        devices=devices,
+        autoscaler=autoscaler,
+        queue_bound=queue_bound,
+    )

@@ -1,0 +1,395 @@
+"""The virtual-time fleet scheduler: mechanism under pluggable policy.
+
+:class:`FleetScheduler` replays one :class:`~repro.workloads.traces.Trace`
+through a discrete-event simulation in *virtual milliseconds*: arrivals,
+completions, and autoscaler ticks are heap events, and a job's service
+time is its planner-predicted cost (:class:`repro.planner.Planner` over
+the paper's calibrated cost models, one modeled device per fleet slot).
+No wall clock ever enters a decision, which is what makes every replay
+bit-reproducible: same trace + same policy = the same event sequence,
+the same statistics, byte for byte.
+
+The scheduler owns the *mechanism* invariants -- whatever the policy
+answers:
+
+* **conservation** -- every submitted request ends exactly once, as
+  ``completed`` or ``evicted`` (``Job.completions`` counts terminal
+  executions and never passes 1);
+* **quota** -- a tenant with ``max_concurrency`` never has more than that
+  many jobs running (policies only ever see quota-eligible candidates);
+* **progress** -- a preempted job re-queues with restart semantics and
+  becomes non-displaceable after :attr:`FleetScheduler.max_preemptions`
+  displacements, so preempted requests always eventually complete;
+* **work safety** -- shrinking the pool (autoscaler) never cancels a
+  running job; the pool drains to the target instead.
+
+``execute=True`` additionally runs every completed request through the
+real engine stack (``repro.sort`` of its seeded workload) and keeps the
+sorted arrays, so tests can assert fleet outputs are bit-identical to
+direct sorts; the default leaves execution modeled (costs only), which
+is what benchmarks want.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engines.base import SortRequest, SortTelemetry
+from repro.errors import SortInputError
+from repro.fleet.autoscaler import Autoscaler
+from repro.fleet.policy import SchedulingPolicy, make_policy
+from repro.fleet.stats import FleetReport, TenantStats, jain_index
+from repro.planner import Planner
+from repro.workloads.generators import paper_workload
+from repro.workloads.traces import Tenant, Trace, TraceRequest
+
+__all__ = ["Job", "CostOracle", "FleetScheduler"]
+
+#: Service time charged for degenerate (n <= 1) requests, so completions
+#: still strictly follow their starts in the event order.
+_EPS_MS = 1e-6
+
+
+@dataclass
+class Job:
+    """One trace request's lifecycle inside the scheduler."""
+
+    index: int
+    request: TraceRequest
+    tenant: Tenant
+    duration_ms: float
+    #: ``queued`` | ``running`` | ``completed`` | ``evicted``.
+    state: str = "queued"
+    #: Virtual time the current/last execution began (None before any).
+    started_ms: float | None = None
+    #: Virtual time the job completed (None until it does).
+    completed_ms: float | None = None
+    #: Executions begun (restarts after preemption count again).
+    executions: int = 0
+    #: Executions that ran to completion (the invariant caps this at 1).
+    completions: int = 0
+    #: Times this job was displaced by a preemption.
+    preemptions: int = 0
+    #: Guards stale completion events after a preemption: a completion
+    #: only lands if its epoch still matches the job's.
+    epoch: int = 0
+    #: Closed execution spans ``(start_ms, end_ms, outcome)`` with outcome
+    #: ``"completed"`` or ``"preempted"`` -- the audit trail the invariant
+    #: tests sweep to check quotas and single-completion.
+    spans: list[tuple[float, float, str]] = field(default_factory=list)
+
+    @property
+    def wait_ms(self) -> float:
+        """Arrival to the start of the execution that completed."""
+        if self.started_ms is None:
+            return 0.0
+        return self.started_ms - self.request.arrival_ms
+
+
+class CostOracle:
+    """Planner-predicted service times, memoised per request size.
+
+    The fleet models each pool slot as one paper device, so a request's
+    service time is the planner's cheapest single-device plan for its
+    size.  Cost depends only on the request *shape*, so a zeros array of
+    the right length probes it without generating workload keys.
+    """
+
+    def __init__(self, planner: Planner | None = None):
+        self._planner = planner or Planner(max_devices=1)
+        self._cost_ms: dict[int, float] = {}
+
+    def duration_ms(self, n: int) -> float:
+        """Modeled service time for a size-``n`` sort on one device."""
+        if n <= 1:
+            return _EPS_MS
+        cached = self._cost_ms.get(n)
+        if cached is None:
+            probe = SortRequest(keys=np.zeros(n, dtype=np.float32))
+            cached = max(self._planner.plan(probe).cost_ms, _EPS_MS)
+            self._cost_ms[n] = cached
+        return cached
+
+
+class FleetScheduler:
+    """Replay one trace under one policy on a modeled device pool.
+
+    Parameters
+    ----------
+    trace:
+        The workload to replay (arrival-ordered requests).
+    policy:
+        A :data:`~repro.fleet.policy.POLICIES` name or a policy instance
+        (reset before the run).
+    devices:
+        Initial pool size (and fixed size when no autoscaler is given).
+    autoscaler:
+        Optional :class:`~repro.fleet.autoscaler.Autoscaler`; when given,
+        pool size follows its decisions at ``tick_ms`` cadence.
+    queue_bound:
+        Per-tenant queue depth that triggers the policy's eviction hook.
+    max_preemptions:
+        Displacement budget per job; at the cap a job can no longer be
+        chosen as a victim (the progress guarantee).
+    execute:
+        Run completed requests through the real engine stack and keep
+        their sorted arrays in :attr:`results`.
+    oracle:
+        Optional shared :class:`CostOracle` (replays of the same trace
+        family reuse its memo).
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        policy: str | SchedulingPolicy = "weighted-fair",
+        *,
+        devices: int = 4,
+        autoscaler: Autoscaler | None = None,
+        queue_bound: int = 64,
+        max_preemptions: int = 2,
+        execute: bool = False,
+        oracle: CostOracle | None = None,
+    ):
+        if devices < 1:
+            raise SortInputError(f"fleet needs devices >= 1, got {devices}")
+        if queue_bound < 1:
+            raise SortInputError(
+                f"fleet needs queue_bound >= 1, got {queue_bound}"
+            )
+        if max_preemptions < 0:
+            raise SortInputError("fleet needs max_preemptions >= 0")
+        self.trace = trace
+        self.policy = make_policy(policy)
+        self.autoscaler = autoscaler
+        self.queue_bound = queue_bound
+        self.max_preemptions = max_preemptions
+        self.execute = execute
+        self.oracle = oracle or CostOracle()
+        self.pool_size = (
+            autoscaler.clamp(devices) if autoscaler else devices
+        )
+        self.jobs: list[Job] = [
+            Job(
+                index=index,
+                request=request,
+                tenant=trace.tenant(request.tenant),
+                duration_ms=self.oracle.duration_ms(request.n),
+            )
+            for index, request in enumerate(trace.requests)
+        ]
+        #: Sorted output per completed job index (``execute=True`` only).
+        self.results: dict[int, np.ndarray] = {}
+        self._queue: list[Job] = []
+        self._running: dict[int, Job] = {}
+        self._events: list[tuple[float, int, str, Job | None, int]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._pool_timeline: list[tuple[float, int]] = [(0.0, self.pool_size)]
+        self._arrivals_pending = 0
+        self._telemetry: SortTelemetry | None = None
+        self._ran = False
+
+    # -- event plumbing ------------------------------------------------------
+
+    def _push(
+        self, time_ms: float, kind: str, job: Job | None, epoch: int = 0
+    ) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (time_ms, self._seq, kind, job, epoch))
+
+    def _running_for(self, tenant: str) -> int:
+        return sum(1 for j in self._running.values() if j.tenant.name == tenant)
+
+    def _under_quota(self, job: Job) -> bool:
+        quota = job.tenant.max_concurrency
+        return quota is None or self._running_for(job.tenant.name) < quota
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self) -> FleetReport:
+        """Replay the whole trace and return its :class:`FleetReport`."""
+        if self._ran:
+            raise SortInputError(
+                "FleetScheduler instances are single-shot; build a new one"
+            )
+        self._ran = True
+        self.policy.reset()
+        for job in self.jobs:
+            self._push(job.request.arrival_ms, "arrival", job)
+        self._arrivals_pending = len(self.jobs)
+        if self.autoscaler is not None:
+            self._push(self.autoscaler.tick_ms, "tick", None)
+        while self._events:
+            time_ms, _seq, kind, job, epoch = heapq.heappop(self._events)
+            self._now = max(self._now, time_ms)
+            if kind == "arrival":
+                assert job is not None
+                self._arrivals_pending -= 1
+                self._admit(job)
+            elif kind == "done":
+                assert job is not None
+                self._maybe_complete(job, epoch)
+            elif kind == "tick":
+                self._autoscale()
+            self._dispatch()
+        return self._report()
+
+    def _admit(self, job: Job) -> None:
+        tenant_queue = [
+            j for j in self._queue if j.tenant.name == job.tenant.name
+        ]
+        if len(tenant_queue) >= self.queue_bound:
+            # Preempted jobs are off the table: they already lost device
+            # time once, and evicting them would break the progress
+            # guarantee that preempted requests eventually complete.
+            candidates = [j for j in tenant_queue if j.preemptions == 0]
+            victim = self.policy.evict(job, candidates, self._now)
+            if victim is not job and victim not in candidates:
+                victim = job  # a policy may only evict from this tenant
+            victim.state = "evicted"
+            if victim is not job:
+                self._queue.remove(victim)
+                self._queue.append(job)
+            return
+        self._queue.append(job)
+
+    def _start(self, job: Job) -> None:
+        self._queue.remove(job)
+        job.state = "running"
+        job.started_ms = self._now
+        job.executions += 1
+        job.epoch += 1
+        self._running[job.index] = job
+        self.policy.on_start(job, self._now)
+        self._push(self._now + job.duration_ms, "done", job, job.epoch)
+
+    def _preempt(self, victim: Job) -> None:
+        del self._running[victim.index]
+        victim.state = "queued"
+        victim.epoch += 1  # invalidates the in-flight completion event
+        victim.preemptions += 1
+        victim.spans.append((victim.started_ms, self._now, "preempted"))
+        victim.started_ms = None
+        self._queue.append(victim)
+        self.policy.on_preempt(victim, self._now)
+
+    def _maybe_complete(self, job: Job, epoch: int) -> None:
+        if job.state != "running" or job.epoch != epoch:
+            return  # stale completion: the job was preempted meanwhile
+        del self._running[job.index]
+        job.state = "completed"
+        job.completed_ms = self._now
+        job.completions += 1
+        job.spans.append((job.started_ms, self._now, "completed"))
+        self.policy.on_complete(job, self._now)
+        if self.execute:
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        from repro.engines import sort
+
+        values = paper_workload(job.request.n, seed=job.request.seed)
+        result = sort(SortRequest(values=values))
+        self.results[job.index] = result.values
+        if self._telemetry is None:
+            self._telemetry = result.telemetry
+        else:
+            self._telemetry.add(result.telemetry)
+
+    def _dispatch(self) -> None:
+        while self._queue:
+            eligible = [j for j in self._queue if self._under_quota(j)]
+            if not eligible:
+                return
+            running = list(self._running.values())
+            free = self.pool_size - len(running)
+            if free > 0:
+                job = self.policy.select(eligible, running, self._now)
+                if job is None or job not in eligible:
+                    return
+                self._start(job)
+                continue
+            if not self.policy.preemptive:
+                return
+            candidate = self.policy.select(eligible, running, self._now)
+            if candidate is None or candidate not in eligible:
+                return
+            preemptible = [
+                j for j in running if j.preemptions < self.max_preemptions
+            ]
+            if not preemptible:
+                return
+            victim = self.policy.victim(candidate, preemptible, self._now)
+            if victim is None or victim.index not in self._running:
+                return
+            self._preempt(victim)
+            self._start(candidate)
+
+    def _autoscale(self) -> None:
+        assert self.autoscaler is not None
+        target = self.autoscaler.decide(
+            queued=len(self._queue),
+            running=len(self._running),
+            devices=self.pool_size,
+        )
+        if target != self.pool_size:
+            self.pool_size = target
+            self._pool_timeline.append((self._now, target))
+        if self._queue or self._running or self._arrivals_pending:
+            self._push(self._now + self.autoscaler.tick_ms, "tick", None)
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(self) -> FleetReport:
+        per_tenant: list[TenantStats] = []
+        for tenant in self.trace.tenants:
+            jobs = [j for j in self.jobs if j.tenant.name == tenant.name]
+            done = [j for j in jobs if j.state == "completed"]
+            waits = [j.wait_ms for j in done]
+            slowdowns = [
+                (j.completed_ms - j.request.arrival_ms) / j.duration_ms
+                for j in done
+            ]
+            arrivals = [j.request.arrival_ms for j in jobs]
+            ends = [j.completed_ms for j in done]
+            misses = sum(
+                1
+                for j in done
+                if j.request.deadline_ms is not None
+                and j.completed_ms > j.request.deadline_ms
+            )
+            per_tenant.append(
+                TenantStats.from_waits(
+                    tenant.name,
+                    submitted=len(jobs),
+                    completed=len(done),
+                    evicted=sum(1 for j in jobs if j.state == "evicted"),
+                    preemptions=sum(j.preemptions for j in jobs),
+                    deadline_misses=misses,
+                    waits_ms=waits,
+                    slowdowns=slowdowns,
+                    makespan_ms=(
+                        max(ends) - min(arrivals) if done and arrivals else 0.0
+                    ),
+                    work_ms=sum(j.duration_ms for j in done),
+                )
+            )
+        shares = [t.mean_slowdown for t in per_tenant if t.completed > 0]
+        pool_sizes = [size for _t, size in self._pool_timeline]
+        return FleetReport(
+            trace=self.trace.name,
+            seed=self.trace.seed,
+            policy=self.policy.name,
+            devices=self._pool_timeline[0][1],
+            makespan_ms=self._now,
+            fairness=jain_index(shares),
+            tenants=tuple(per_tenant),
+            pool_min=min(pool_sizes),
+            pool_max=max(pool_sizes),
+            pool_timeline=tuple(self._pool_timeline),
+            telemetry=self._telemetry,
+        )

@@ -19,6 +19,13 @@ Request lines
     (optional ``"fan_in"``/``"devices"``) runs a compaction, and
     ``"stats"`` returns the :class:`repro.store.StoreStats` fields.
     Store lines on a server without a store get an ``"error"`` line.
+    ``{"op": "fleet", "action": ...}`` lines drive the multi-tenant
+    fleet harness (:mod:`repro.fleet`): ``"replay"`` replays a trace --
+    either ``"trace"`` (an inline :meth:`repro.fleet.Trace.to_json`
+    object) or ``"scenario"`` (a named scenario with optional ``"seed"``)
+    -- under ``"policy"`` and returns the
+    :meth:`repro.fleet.FleetReport.to_json` fields; ``"compare"`` does so
+    under every built-in policy; ``"policies"`` lists the built-ins.
 
 Response lines
     ``{"id": ..., "engine": "...", "n": 5, "keys": [...], "ids": [...],
@@ -156,6 +163,52 @@ async def _serve_store(store, message: dict) -> dict:
     raise ReproError(f"unknown store action {action!r}")
 
 
+async def _serve_fleet(message: dict) -> dict:
+    """Serve one ``{"op": "fleet"}`` line (replay / compare / policies).
+
+    Replays are pure CPU work over virtual time, so they run in the
+    default executor; the event loop keeps serving sort lines meanwhile.
+    """
+    from repro.fleet import Trace, compare_policies, replay
+    from repro.fleet.policy import POLICIES
+    from repro.workloads.traces import scenario_trace
+
+    action = message.get("action")
+    if action == "policies":
+        return {"policies": sorted(POLICIES)}
+    if action not in ("replay", "compare"):
+        raise ReproError(f"unknown fleet action {action!r}")
+    if "trace" in message:
+        trace = Trace.from_json(message["trace"])
+    elif "scenario" in message:
+        trace = scenario_trace(
+            message["scenario"],
+            seed=message.get("seed", 0),
+            duration_ms=message.get("duration_ms"),
+        )
+    else:
+        raise ReproError('fleet replays need a "trace" or a "scenario"')
+    devices = message.get("devices", 4)
+    queue_bound = message.get("queue_bound", 64)
+    loop = asyncio.get_running_loop()
+    if action == "replay":
+        policy = message.get("policy", "weighted-fair")
+        report = await loop.run_in_executor(
+            None,
+            lambda: replay(
+                trace, policy, devices=devices, queue_bound=queue_bound
+            ),
+        )
+        return report.to_json()
+    reports = await loop.run_in_executor(
+        None,
+        lambda: compare_policies(
+            trace, devices=devices, queue_bound=queue_bound
+        ),
+    )
+    return {"reports": {name: r.to_json() for name, r in reports.items()}}
+
+
 async def _serve_line(service: SortService, message: dict, store=None) -> dict:
     """Serve one parsed request line, returning the response object."""
     tag = message.get("id")
@@ -164,6 +217,10 @@ async def _serve_line(service: SortService, message: dict, store=None) -> dict:
             return {"id": tag, "ok": True}
         if message.get("op") == "store":
             response = await _serve_store(store, message)
+            response["id"] = tag
+            return response
+        if message.get("op") == "fleet":
+            response = await _serve_fleet(message)
             response["id"] = tag
             return response
         if message.get("op") == "stats":

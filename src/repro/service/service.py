@@ -42,7 +42,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cluster.device import Device, make_devices
 from repro.cluster.scheduler import Scheduler
@@ -143,6 +143,17 @@ class ServiceStats:
             f"serialized ({self.modeled_speedup:.2f}x)"
         )
 
+    def snapshot(self) -> "ServiceStats":
+        """An independent copy of the counters as they stand *now*.
+
+        The live record mutates as requests complete; tests and harnesses
+        that want to assert mid-run state (backpressure engaging, retries
+        being hinted) need a frozen copy -- including of the aggregate
+        ``telemetry``, which would otherwise keep accumulating under the
+        caller's feet.
+        """
+        return replace(self, telemetry=replace(self.telemetry))
+
 
 class SortService:
     """An asyncio sort service over the four-layer stack.
@@ -185,6 +196,22 @@ class SortService:
     def is_running(self) -> bool:
         """Whether the service is started and accepting submissions."""
         return self._started and not self._closing
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet completed (the backpressure
+        level admission control compares against ``max_pending``)."""
+        return self._pending
+
+    def stats_snapshot(self) -> ServiceStats:
+        """:meth:`ServiceStats.snapshot` of the live counters.
+
+        Safe to call while the service is running (including from inside
+        a submission's own task): the returned record is frozen in time,
+        so mid-run assertions -- is backpressure engaging, are rejects
+        being counted -- do not race the pipeline.
+        """
+        return self.stats.snapshot()
 
     async def start(self) -> "SortService":
         """Build the worker pool and start accepting submissions."""

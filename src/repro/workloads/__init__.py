@@ -6,6 +6,9 @@
   paper's uniform random floats plus standard stress distributions).
 * :mod:`repro.workloads.records` -- value/pointer record workloads
   (database-style payload tables), padding, and result verification.
+* :mod:`repro.workloads.traces` -- multi-tenant request traces: seeded
+  Poisson/MMPP/diurnal arrivals, heavy-tailed sizes, named scenarios,
+  and NDJSON record/replay (the fleet layer's workload source).
 """
 
 from repro.workloads.rng import DEFAULT_SEED, seeded_rng
@@ -20,6 +23,15 @@ from repro.workloads.records import (
     pad_to_power_of_two,
     verify_sort_output,
 )
+from repro.workloads.traces import (
+    SCENARIOS,
+    Tenant,
+    TenantLoad,
+    Trace,
+    TraceRequest,
+    generate_trace,
+    scenario_trace,
+)
 
 __all__ = [
     "DEFAULT_SEED",
@@ -31,4 +43,11 @@ __all__ = [
     "is_sorted_values",
     "pad_to_power_of_two",
     "verify_sort_output",
+    "SCENARIOS",
+    "Tenant",
+    "TenantLoad",
+    "Trace",
+    "TraceRequest",
+    "generate_trace",
+    "scenario_trace",
 ]

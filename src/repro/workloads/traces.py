@@ -1,0 +1,687 @@
+"""Multi-tenant workload traces: seeded generators and NDJSON replay.
+
+The paper benchmarks one sort at a time; a fleet serves *streams* of sort
+requests from competing tenants.  This module is the workload half of the
+fleet layer (:mod:`repro.fleet`): it describes tenants, generates seeded
+request traces with production-shaped statistics, and records/replays them
+as newline-delimited JSON so that every scheduling-policy claim can be
+re-run bit-identically from a committed file.
+
+Three generator families (all driven by :func:`repro.workloads.rng.seeded_rng`,
+never OS entropy):
+
+* **arrivals** -- homogeneous Poisson (:func:`poisson_arrivals`), bursty
+  two-state Markov-modulated Poisson (:func:`mmpp_arrivals`, the classic
+  on/off burst model), and a diurnal rate curve
+  (:func:`diurnal_arrivals`, inhomogeneous Poisson by thinning);
+* **sizes** -- heavy-tailed lognormal and Pareto request sizes
+  (:func:`lognormal_sizes`, :func:`pareto_sizes`), rounded up to a
+  64-pair allocation granule so plan caches see recurring shapes;
+* **scenarios** -- named, fully parameterised trace builders
+  (:data:`SCENARIOS` / :func:`scenario_trace`): ``burst`` (overlapping
+  MMPP bursts from three tenants of unequal priority), ``diurnal``
+  (day/night rate curves, the autoscaler workload), and ``flood`` (one
+  adversarial tenant drowning two well-behaved ones).
+
+The NDJSON format is one header line (trace name, seed, tenant table)
+followed by one line per request; :meth:`Trace.save` /
+:meth:`Trace.load` round-trip bit-identically because JSON serialises
+Python floats via ``repr`` (shortest exact form).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SortInputError
+from repro.workloads.rng import DEFAULT_SEED, seeded_rng
+
+__all__ = [
+    "Tenant",
+    "TraceRequest",
+    "Trace",
+    "TenantLoad",
+    "poisson_arrivals",
+    "mmpp_arrivals",
+    "diurnal_arrivals",
+    "lognormal_sizes",
+    "pareto_sizes",
+    "generate_trace",
+    "SCENARIOS",
+    "scenario_trace",
+]
+
+#: Request sizes are rounded up to this granule (pairs).  Heavy-tailed
+#: distributions would otherwise make nearly every request a distinct
+#: planner shape; a production allocator quantises for the same reason.
+SIZE_GRANULE = 64
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant of the fleet: identity plus scheduling attributes.
+
+    ``priority`` orders tenants for priority-based policies (larger is
+    more important); ``weight`` is the tenant's fair-share entitlement for
+    weighted policies; ``max_concurrency`` is a hard device quota -- the
+    scheduler never runs more than this many of the tenant's requests at
+    once, whatever the policy (``None`` = no quota).
+    """
+
+    name: str
+    priority: int = 0
+    weight: float = 1.0
+    max_concurrency: int | None = None
+
+    def __post_init__(self) -> None:
+        """Reject tenants no scheduler could serve."""
+        if not self.name:
+            raise SortInputError("tenant needs a non-empty name")
+        if self.weight <= 0:
+            raise SortInputError(
+                f"tenant {self.name!r} needs weight > 0, got {self.weight}"
+            )
+        if self.max_concurrency is not None and self.max_concurrency < 1:
+            raise SortInputError(
+                f"tenant {self.name!r} quota must be >= 1, got "
+                f"{self.max_concurrency}"
+            )
+
+    def to_json(self) -> dict:
+        """JSON-ready form (the trace header's tenant table entry)."""
+        return {
+            "name": self.name,
+            "priority": self.priority,
+            "weight": self.weight,
+            "max_concurrency": self.max_concurrency,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Tenant":
+        """Rebuild a tenant from :meth:`to_json` output."""
+        return cls(
+            name=obj["name"],
+            priority=int(obj.get("priority", 0)),
+            weight=float(obj.get("weight", 1.0)),
+            max_concurrency=obj.get("max_concurrency"),
+        )
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request of a trace: who asks for how much work, when.
+
+    ``arrival_ms`` is virtual trace time; ``n`` the sort size in pairs;
+    ``seed`` derives the request's workload keys
+    (``paper_workload(n, seed)``), so a replayed trace sorts the very same
+    bytes; ``deadline_ms`` is an absolute virtual-time deadline for
+    deadline-aware policies (``None`` = best effort).
+    """
+
+    arrival_ms: float
+    tenant: str
+    n: int
+    seed: int
+    deadline_ms: float | None = None
+
+    def to_json(self) -> dict:
+        """JSON-ready form (one NDJSON body line)."""
+        return {
+            "arrival_ms": self.arrival_ms,
+            "tenant": self.tenant,
+            "n": self.n,
+            "seed": self.seed,
+            "deadline_ms": self.deadline_ms,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "TraceRequest":
+        """Rebuild a request from :meth:`to_json` output."""
+        return cls(
+            arrival_ms=float(obj["arrival_ms"]),
+            tenant=obj["tenant"],
+            n=int(obj["n"]),
+            seed=int(obj["seed"]),
+            deadline_ms=(
+                None if obj.get("deadline_ms") is None
+                else float(obj["deadline_ms"])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A complete replayable workload: tenants plus arrival-ordered requests."""
+
+    name: str
+    seed: int
+    tenants: tuple[Tenant, ...]
+    requests: tuple[TraceRequest, ...]
+
+    def __post_init__(self) -> None:
+        """Validate referential integrity and arrival ordering."""
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise SortInputError(f"duplicate tenant names in trace: {names}")
+        known = set(names)
+        for request in self.requests:
+            if request.tenant not in known:
+                raise SortInputError(
+                    f"request references unknown tenant {request.tenant!r}"
+                )
+        arrivals = [r.arrival_ms for r in self.requests]
+        if arrivals != sorted(arrivals):
+            raise SortInputError("trace requests must be arrival-ordered")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def duration_ms(self) -> float:
+        """Last arrival time (0 for an empty trace)."""
+        return self.requests[-1].arrival_ms if self.requests else 0.0
+
+    def tenant(self, name: str) -> Tenant:
+        """The tenant record called ``name``."""
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        raise SortInputError(f"trace has no tenant {name!r}")
+
+    # -- NDJSON record / replay ----------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace as NDJSON: one header line, one line per request."""
+        path = Path(path)
+        lines = [
+            json.dumps(
+                {
+                    "kind": "repro-trace",
+                    "name": self.name,
+                    "seed": self.seed,
+                    "tenants": [t.to_json() for t in self.tenants],
+                }
+            )
+        ]
+        lines.extend(json.dumps(r.to_json()) for r in self.requests)
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace written by :meth:`save` (bit-identical round trip)."""
+        lines = [
+            line for line in Path(path).read_text().splitlines() if line.strip()
+        ]
+        if not lines:
+            raise SortInputError(f"empty trace file: {path}")
+        header = json.loads(lines[0])
+        if header.get("kind") != "repro-trace":
+            raise SortInputError(
+                f"{path} is not a repro trace (missing header line)"
+            )
+        return cls.from_json(
+            {
+                "name": header["name"],
+                "seed": header["seed"],
+                "tenants": header["tenants"],
+                "requests": [json.loads(line) for line in lines[1:]],
+            }
+        )
+
+    def to_json(self) -> dict:
+        """The whole trace as one JSON-ready object (the socket form)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "tenants": [t.to_json() for t in self.tenants],
+            "requests": [r.to_json() for r in self.requests],
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Trace":
+        """Rebuild a trace from :meth:`to_json` output (socket replay)."""
+        return cls(
+            name=obj.get("name", "trace"),
+            seed=int(obj.get("seed", DEFAULT_SEED)),
+            tenants=tuple(Tenant.from_json(t) for t in obj["tenants"]),
+            requests=tuple(TraceRequest.from_json(r) for r in obj["requests"]),
+        )
+
+
+# -- arrival processes --------------------------------------------------------
+
+
+def poisson_arrivals(
+    rng: np.random.Generator, rate_hz: float, duration_ms: float
+) -> list[float]:
+    """Homogeneous Poisson arrival times in ``[0, duration_ms)``.
+
+    Exponential inter-arrival gaps with mean ``1000 / rate_hz`` ms.
+    """
+    if rate_hz <= 0:
+        return []
+    out: list[float] = []
+    t = 0.0
+    scale = 1000.0 / rate_hz
+    while True:
+        t += float(rng.exponential(scale))
+        if t >= duration_ms:
+            return out
+        out.append(t)
+
+
+def mmpp_arrivals(
+    rng: np.random.Generator,
+    rate_hz: float,
+    burst_rate_hz: float,
+    duration_ms: float,
+    *,
+    on_ms: float = 200.0,
+    off_ms: float = 600.0,
+) -> list[float]:
+    """Bursty arrivals from a two-state Markov-modulated Poisson process.
+
+    The process alternates between an *off* state emitting at ``rate_hz``
+    and an *on* (burst) state emitting at ``burst_rate_hz``; state
+    residence times are exponential with means ``off_ms`` / ``on_ms``.
+    The classic on/off traffic model: long quiet stretches punctuated by
+    dense bursts, which is what makes scheduling policies diverge.
+    """
+    out: list[float] = []
+    t = 0.0
+    burst = False
+    while t < duration_ms:
+        hold = float(rng.exponential(on_ms if burst else off_ms))
+        end = min(t + hold, duration_ms)
+        rate = burst_rate_hz if burst else rate_hz
+        if rate > 0:
+            scale = 1000.0 / rate
+            at = t
+            while True:
+                at += float(rng.exponential(scale))
+                if at >= end:
+                    break
+                out.append(at)
+        t = end
+        burst = not burst
+    return out
+
+
+def diurnal_arrivals(
+    rng: np.random.Generator,
+    rate_hz: float,
+    duration_ms: float,
+    *,
+    period_ms: float = 1000.0,
+    depth: float = 0.8,
+) -> list[float]:
+    """Arrivals whose rate follows a day/night curve (thinned Poisson).
+
+    The instantaneous rate is ``rate_hz * (1 + depth * sin(2 pi t /
+    period_ms))`` -- a sinusoid around the mean, never negative for
+    ``depth <= 1``.  Implemented by thinning a homogeneous process at the
+    peak rate (Lewis & Shedler), so the stream is exactly inhomogeneous
+    Poisson and still fully seeded.
+    """
+    if not 0.0 <= depth <= 1.0:
+        raise SortInputError(f"diurnal depth must be in [0, 1], got {depth}")
+    peak = rate_hz * (1.0 + depth)
+    if peak <= 0:
+        return []
+    out: list[float] = []
+    t = 0.0
+    scale = 1000.0 / peak
+    while True:
+        t += float(rng.exponential(scale))
+        if t >= duration_ms:
+            return out
+        rate = rate_hz * (1.0 + depth * math.sin(2.0 * math.pi * t / period_ms))
+        if float(rng.random()) * peak < rate:
+            out.append(t)
+
+
+# -- size distributions -------------------------------------------------------
+
+
+def _granulate(raw: float, n_min: int, n_max: int) -> int:
+    """Clamp to ``[n_min, n_max]`` and round up to the size granule."""
+    n = min(max(int(raw), n_min), n_max)
+    return min(-(-n // SIZE_GRANULE) * SIZE_GRANULE, n_max)
+
+
+def lognormal_sizes(
+    rng: np.random.Generator,
+    count: int,
+    *,
+    median: int = 4096,
+    sigma: float = 1.0,
+    n_min: int = SIZE_GRANULE,
+    n_max: int = 1 << 16,
+) -> list[int]:
+    """Heavy-tailed lognormal request sizes (pairs), granule-rounded.
+
+    ``median`` is the distribution's median size; ``sigma`` the log-space
+    spread (1.0 gives roughly a 7x interquartile-to-tail ratio, the
+    cluster-trace shape: most requests small, a thick tail of large ones).
+    """
+    return [
+        _granulate(median * math.exp(sigma * float(z)), n_min, n_max)
+        for z in rng.normal(0.0, 1.0, count)
+    ]
+
+
+def pareto_sizes(
+    rng: np.random.Generator,
+    count: int,
+    *,
+    alpha: float = 1.5,
+    n_min: int = SIZE_GRANULE,
+    n_max: int = 1 << 16,
+) -> list[int]:
+    """Pareto (power-law) request sizes with tail index ``alpha``.
+
+    Smaller ``alpha`` = heavier tail; 1.5 is the textbook heavy-tail
+    regime (finite mean, infinite variance before clamping).
+    """
+    return [
+        _granulate(n_min * (1.0 + float(p)), n_min, n_max)
+        for p in rng.pareto(alpha, count)
+    ]
+
+
+# -- trace generation ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TenantLoad:
+    """One tenant's offered load: arrival process plus size distribution.
+
+    ``arrivals`` selects the process (``poisson`` | ``mmpp`` | ``diurnal``)
+    parameterised by ``rate_hz`` (plus ``burst_rate_hz``/``on_ms``/``off_ms``
+    for MMPP and ``period_ms``/``depth`` for diurnal); ``sizes`` selects
+    the size law (``lognormal`` | ``pareto`` | ``fixed``) parameterised by
+    ``size_median``/``size_sigma``/``size_alpha`` with ``[n_min, n_max]``
+    clamping.  ``deadline_slack_ms`` stamps each request with an absolute
+    deadline that far after its arrival (for deadline-aware policies).
+    """
+
+    tenant: Tenant
+    arrivals: str = "poisson"
+    rate_hz: float = 20.0
+    burst_rate_hz: float | None = None
+    on_ms: float = 200.0
+    off_ms: float = 600.0
+    period_ms: float = 1000.0
+    depth: float = 0.8
+    sizes: str = "lognormal"
+    size_median: int = 4096
+    size_sigma: float = 1.0
+    size_alpha: float = 1.5
+    n_min: int = 256
+    n_max: int = 1 << 14
+    deadline_slack_ms: float | None = None
+
+    def arrival_times(
+        self, rng: np.random.Generator, duration_ms: float
+    ) -> list[float]:
+        """This load's arrival times over ``[0, duration_ms)``."""
+        if self.arrivals == "poisson":
+            return poisson_arrivals(rng, self.rate_hz, duration_ms)
+        if self.arrivals == "mmpp":
+            burst = (
+                self.burst_rate_hz
+                if self.burst_rate_hz is not None
+                else self.rate_hz * 8.0
+            )
+            return mmpp_arrivals(
+                rng,
+                self.rate_hz,
+                burst,
+                duration_ms,
+                on_ms=self.on_ms,
+                off_ms=self.off_ms,
+            )
+        if self.arrivals == "diurnal":
+            return diurnal_arrivals(
+                rng,
+                self.rate_hz,
+                duration_ms,
+                period_ms=self.period_ms,
+                depth=self.depth,
+            )
+        raise SortInputError(
+            f"unknown arrival process {self.arrivals!r}; "
+            f"choose poisson, mmpp, or diurnal"
+        )
+
+    def request_sizes(self, rng: np.random.Generator, count: int) -> list[int]:
+        """``count`` request sizes drawn from this load's size law."""
+        if self.sizes == "lognormal":
+            return lognormal_sizes(
+                rng,
+                count,
+                median=self.size_median,
+                sigma=self.size_sigma,
+                n_min=self.n_min,
+                n_max=self.n_max,
+            )
+        if self.sizes == "pareto":
+            return pareto_sizes(
+                rng,
+                count,
+                alpha=self.size_alpha,
+                n_min=self.n_min,
+                n_max=self.n_max,
+            )
+        if self.sizes == "fixed":
+            return [_granulate(self.size_median, self.n_min, self.n_max)] * count
+        raise SortInputError(
+            f"unknown size distribution {self.sizes!r}; "
+            f"choose lognormal, pareto, or fixed"
+        )
+
+
+def generate_trace(
+    name: str,
+    loads: list[TenantLoad],
+    *,
+    duration_ms: float = 1000.0,
+    seed: int = DEFAULT_SEED,
+) -> Trace:
+    """Generate a seeded multi-tenant trace from per-tenant load specs.
+
+    Each tenant draws from its own child RNG (``seeded_rng(seed)`` spawned
+    per load index), so adding a tenant never perturbs another tenant's
+    stream.  Requests are merged in arrival order (ties broken by tenant
+    listing order) and each gets a per-request workload seed derived from
+    the trace seed and its final position -- same seed in, bit-identical
+    trace out.
+    """
+    if not loads:
+        raise SortInputError("generate_trace needs at least one TenantLoad")
+    streams = seeded_rng(seed).spawn(len(loads))
+    merged: list[tuple[float, int, TraceRequest]] = []
+    for order, (load, rng) in enumerate(zip(loads, streams)):
+        arrivals = load.arrival_times(rng, duration_ms)
+        sizes = load.request_sizes(rng, len(arrivals))
+        for at, n in zip(arrivals, sizes):
+            deadline = (
+                None
+                if load.deadline_slack_ms is None
+                else at + load.deadline_slack_ms
+            )
+            merged.append(
+                (
+                    at,
+                    order,
+                    TraceRequest(
+                        arrival_ms=at,
+                        tenant=load.tenant.name,
+                        n=n,
+                        seed=0,  # stamped after the global ordering below
+                        deadline_ms=deadline,
+                    ),
+                )
+            )
+    merged.sort(key=lambda item: (item[0], item[1]))
+    requests = tuple(
+        replace(request, seed=(seed * 1_000_003 + index) % (1 << 31))
+        for index, (_at, _order, request) in enumerate(merged)
+    )
+    return Trace(
+        name=name,
+        seed=seed,
+        tenants=tuple(load.tenant for load in loads),
+        requests=requests,
+    )
+
+
+# -- named scenarios ----------------------------------------------------------
+
+
+def _burst_scenario(seed: int, duration_ms: float) -> Trace:
+    """Three tenants, overlapping MMPP bursts, unequal priority.
+
+    The policy-comparison workload: ``interactive`` (high priority,
+    weight 2) and ``batch`` (mid priority) burst hard while
+    ``background`` (lowest priority, weight 1) offers a steady trickle.
+    FIFO-priority serves the bursts first and starves ``background``;
+    weighted fair share keeps every tenant near its weight.
+    """
+    loads = [
+        TenantLoad(
+            tenant=Tenant("interactive", priority=2, weight=2.0),
+            arrivals="mmpp",
+            rate_hz=20.0,
+            burst_rate_hz=400.0,
+            on_ms=200.0,
+            off_ms=300.0,
+            sizes="lognormal",
+            size_median=1 << 16,
+            size_sigma=0.5,
+            n_min=1 << 12,
+            n_max=1 << 17,
+        ),
+        TenantLoad(
+            tenant=Tenant("batch", priority=1, weight=1.0),
+            arrivals="mmpp",
+            rate_hz=15.0,
+            burst_rate_hz=200.0,
+            on_ms=250.0,
+            off_ms=400.0,
+            sizes="pareto",
+            size_alpha=1.4,
+            n_min=1 << 14,
+            n_max=1 << 17,
+        ),
+        TenantLoad(
+            tenant=Tenant("background", priority=0, weight=1.0),
+            arrivals="poisson",
+            rate_hz=40.0,
+            sizes="lognormal",
+            size_median=1 << 13,
+            size_sigma=0.5,
+            n_min=1 << 11,
+            n_max=1 << 15,
+        ),
+    ]
+    return generate_trace("burst", loads, duration_ms=duration_ms, seed=seed)
+
+
+def _diurnal_scenario(seed: int, duration_ms: float) -> Trace:
+    """Two tenants on out-of-phase day/night curves (autoscaler workload)."""
+    loads = [
+        TenantLoad(
+            tenant=Tenant("daytime", priority=1, weight=1.0),
+            arrivals="diurnal",
+            rate_hz=250.0,
+            period_ms=duration_ms,
+            depth=0.9,
+            sizes="lognormal",
+            size_median=1 << 15,
+            size_sigma=0.6,
+            n_min=1 << 12,
+            n_max=1 << 16,
+        ),
+        TenantLoad(
+            tenant=Tenant("nightly", priority=0, weight=1.0),
+            arrivals="diurnal",
+            rate_hz=30.0,
+            period_ms=duration_ms / 2.0,
+            depth=0.7,
+            sizes="pareto",
+            size_alpha=1.6,
+            n_min=1 << 13,
+            n_max=1 << 16,
+            deadline_slack_ms=400.0,
+        ),
+    ]
+    return generate_trace("diurnal", loads, duration_ms=duration_ms, seed=seed)
+
+
+def _flood_scenario(seed: int, duration_ms: float) -> Trace:
+    """One adversarial tenant floods; two well-behaved tenants must survive.
+
+    The flooding tenant carries a device quota (``max_concurrency=2``), so
+    quota enforcement -- not good manners -- is what protects the others.
+    """
+    loads = [
+        TenantLoad(
+            tenant=Tenant("bully", priority=2, weight=1.0, max_concurrency=2),
+            arrivals="poisson",
+            rate_hz=400.0,
+            sizes="fixed",
+            size_median=1 << 16,
+            n_min=1 << 12,
+            n_max=1 << 16,
+        ),
+        TenantLoad(
+            tenant=Tenant("steady", priority=1, weight=2.0),
+            arrivals="poisson",
+            rate_hz=40.0,
+            sizes="lognormal",
+            size_median=1 << 13,
+            size_sigma=0.5,
+            n_min=1 << 11,
+            n_max=1 << 15,
+            deadline_slack_ms=250.0,
+        ),
+        TenantLoad(
+            tenant=Tenant("trickle", priority=0, weight=1.0),
+            arrivals="poisson",
+            rate_hz=10.0,
+            sizes="lognormal",
+            size_median=1 << 14,
+            size_sigma=0.6,
+            n_min=1 << 12,
+            n_max=1 << 16,
+        ),
+    ]
+    return generate_trace("flood", loads, duration_ms=duration_ms, seed=seed)
+
+
+#: Named scenario builders: name -> (builder, default duration_ms).
+SCENARIOS = {
+    "burst": (_burst_scenario, 1500.0),
+    "diurnal": (_diurnal_scenario, 2000.0),
+    "flood": (_flood_scenario, 800.0),
+}
+
+
+def scenario_trace(
+    name: str, *, seed: int = DEFAULT_SEED, duration_ms: float | None = None
+) -> Trace:
+    """Build one of the named :data:`SCENARIOS` (seeded, deterministic)."""
+    try:
+        builder, default_ms = SCENARIOS[name]
+    except KeyError:
+        raise SortInputError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return builder(seed, default_ms if duration_ms is None else duration_ms)

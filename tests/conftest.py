@@ -7,6 +7,7 @@ import pytest
 from hypothesis import HealthCheck, settings
 
 from repro.core.values import make_values
+from repro.workloads.rng import seeded_rng
 
 # Deterministic, CI-friendly Hypothesis defaults.
 settings.register_profile(
@@ -20,7 +21,7 @@ settings.load_profile("repro")
 
 @pytest.fixture
 def rng() -> np.random.Generator:
-    return np.random.default_rng(20060425)  # IPDPS 2006 conference date
+    return seeded_rng(20060425)  # IPDPS 2006 conference date
 
 
 @pytest.fixture

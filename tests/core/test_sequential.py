@@ -14,6 +14,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import SortInputError
+from repro.workloads.rng import seeded_rng
 from repro.analysis.complexity import (
     abisort_comparison_count,
     comparisons_upper_bound,
@@ -143,7 +144,7 @@ class TestComparisonCounts:
         """The Section-8 observation: comparisons do not depend on data."""
         counts = set()
         for seed in range(5):
-            r = np.random.default_rng(seed)
+            r = seeded_rng(seed)
             counters = SequentialCounters()
             adaptive_bitonic_sort_sequence(_pairs(r.random(256)), counters)
             counts.add(counters.comparisons)

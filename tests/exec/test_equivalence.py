@@ -19,6 +19,7 @@ from repro.hybrid.disk import SimulatedDisk
 from repro.hybrid.external import ExternalSorter
 from repro.store import SortedStore
 from repro.stream.stream import VALUE_DTYPE
+from repro.workloads.rng import seeded_rng
 
 
 def _values(keys, ids) -> np.ndarray:
@@ -57,12 +58,12 @@ class TestMergeEquivalence:
     @pytest.mark.parametrize("k", [1, 2, 3, 5, 7, 32])
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_uniform_random(self, k, seed):
-        rng = np.random.default_rng(seed)
+        rng = seeded_rng(seed)
         _assert_merge_identical(_random_runs(rng, k))
 
     @pytest.mark.parametrize("k", [2, 3, 8])
     def test_heavily_duplicated_keys(self, k):
-        rng = np.random.default_rng(20060425)
+        rng = seeded_rng(20060425)
         runs = []
         offset = 0
         for _ in range(k):
@@ -120,7 +121,7 @@ class TestExternalPipelineEquivalence:
         ],
     )
     def test_disk_accounting_and_bytes(self, n, chunk, buffer):
-        rng = np.random.default_rng(n)
+        rng = seeded_rng(n)
         values = _values(
             rng.random(n, dtype=np.float32), np.arange(n, dtype=np.uint32)
         )
@@ -163,7 +164,7 @@ class TestStoreEquivalence:
             path, engine="cpu-std", exec_tier=tier, memory_pairs=1024
         )
         for seed in range(4):
-            batch = np.random.default_rng(seed).random(
+            batch = seeded_rng(seed).random(
                 512, dtype=np.float32
             )
             store.insert(batch)

@@ -29,6 +29,7 @@ from repro.stream.cache import CacheConfig, TextureCacheSim
 from repro.stream.gpu_model import GEFORCE_7800_GTX, estimate_gpu_time_ms
 from repro.stream.mapping2d import ZOrderMapping
 from repro.stream.stream import VALUE_DTYPE
+from repro.workloads.rng import seeded_rng
 
 ABISORT_ENGINES = (
     "abisort",
@@ -107,7 +108,7 @@ class TestABiSortEquivalence:
     @pytest.mark.parametrize("engine", ABISORT_ENGINES)
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_random_lengths(self, engine, seed):
-        rng = np.random.default_rng(seed)
+        rng = seeded_rng(seed)
         # Random lengths, deliberately mostly non-powers-of-two (padding).
         for n in rng.integers(2, 600, size=3):
             values = _random_values(rng, int(n))
@@ -118,7 +119,7 @@ class TestABiSortEquivalence:
     @pytest.mark.parametrize("engine", ABISORT_ENGINES)
     @pytest.mark.parametrize("n", [0, 1, 2, 3, 8])
     def test_edge_lengths(self, engine, n):
-        rng = np.random.default_rng(42)
+        rng = seeded_rng(42)
         values = _random_values(rng, n)
         _assert_identical(
             _sort_tier(engine, values, "reference"),
@@ -126,7 +127,7 @@ class TestABiSortEquivalence:
         )
 
     def test_larger_power_of_two(self):
-        rng = np.random.default_rng(3)
+        rng = seeded_rng(3)
         values = _random_values(rng, 4096)
         _assert_identical(
             _sort_tier("abisort", values, "reference"),
@@ -135,7 +136,7 @@ class TestABiSortEquivalence:
 
     @pytest.mark.parametrize("engine", ABISORT_ENGINES)
     def test_nan_keys_fall_back_identically(self, engine):
-        rng = np.random.default_rng(9)
+        rng = seeded_rng(9)
         values = _random_values(rng, 64)
         values["key"][rng.integers(0, 64, size=5)] = np.nan
         ref = _sort_tier(engine, values, "reference")
@@ -155,7 +156,7 @@ class TestABiSortEquivalence:
     def test_memoized_repeat_length_identical(self):
         """A long-lived engine replays the memoized op log on the second
         same-length sort; the result must still match a fresh reference."""
-        rng = np.random.default_rng(11)
+        rng = seeded_rng(11)
         engine = repro.engines.get("abisort")
         for _ in range(2):  # second iteration hits the op-log memo
             values = _random_values(rng, 192)
@@ -166,7 +167,7 @@ class TestABiSortEquivalence:
             _assert_identical(ref, vec)
 
     def test_memoized_path_still_raises_on_duplicate_ids(self):
-        rng = np.random.default_rng(12)
+        rng = seeded_rng(12)
         engine = repro.engines.get("abisort")
         good = _random_values(rng, 64)
         engine.sort(
@@ -182,7 +183,7 @@ class TestNetworkEquivalence:
     @pytest.mark.parametrize("engine", NETWORK_ENGINES)
     @pytest.mark.parametrize("n", [2, 8, 64, 256])
     def test_power_of_two_lengths(self, engine, n):
-        rng = np.random.default_rng(n)
+        rng = seeded_rng(n)
         values = _random_values(rng, n)
         _assert_identical(
             _sort_tier(engine, values, "reference"),
@@ -206,7 +207,7 @@ class TestNetworkEquivalence:
 class TestShardedEquivalence:
     @pytest.mark.parametrize("n", [5, 300, 1024])
     def test_sharded_identical_per_device(self, n):
-        rng = np.random.default_rng(n)
+        rng = seeded_rng(n)
         values = _random_values(rng, n)
         ref = _sort_tier("sharded-abisort", values, "reference")
         vec = _sort_tier("sharded-abisort", values, "vectorized")
@@ -220,7 +221,7 @@ class TestShardedEquivalence:
 
 class TestSortedOutput:
     def test_matches_reference_sort(self):
-        rng = np.random.default_rng(5)
+        rng = seeded_rng(5)
         values = _random_values(rng, 333)
         out = sorted_output(values)
         assert out is not None
@@ -242,12 +243,12 @@ class TestSortedOutput:
 
 class TestPlannerTierRule:
     def test_trace_requests_pin_reference(self):
-        keys = np.random.default_rng(0).random(256, dtype=np.float32)
+        keys = seeded_rng(0).random(256, dtype=np.float32)
         plan = repro.plan(repro.SortRequest(keys=keys, trace=True))
         assert plan.exec_tier == "reference"
 
     def test_untraced_requests_default_vectorized(self):
-        keys = np.random.default_rng(0).random(256, dtype=np.float32)
+        keys = seeded_rng(0).random(256, dtype=np.float32)
         plan = repro.plan(repro.SortRequest(keys=keys))
         assert plan.exec_tier == "vectorized"
 

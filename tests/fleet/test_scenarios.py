@@ -1,0 +1,128 @@
+"""Committed scenario traces and golden per-tenant statistics.
+
+The NDJSON traces under ``tests/fleet/traces/`` and the golden reports
+under ``tests/fleet/goldens/`` are committed artifacts: the traces must
+be bit-identical to what ``scenario_trace`` regenerates (record/replay
+round trip), and replaying them must reproduce the golden per-tenant
+stats exactly (virtual time: no tolerance needed).
+
+Regenerate after an intentional scheduler/trace change with::
+
+    PYTHONPATH=src python tests/fleet/test_scenarios.py regen
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import Autoscaler, Trace, compare_policies, replay
+from repro.workloads.traces import SCENARIOS, scenario_trace
+
+HERE = Path(__file__).parent
+TRACE_DIR = HERE / "traces"
+GOLDEN_DIR = HERE / "goldens"
+
+#: The committed artifacts' generation seed.
+SEED = 0
+
+#: Per-scenario replay parameters the goldens were produced with.
+REPLAY_PARAMS = {
+    "burst": {"devices": 4, "queue_bound": 64},
+    "diurnal": {
+        "devices": 2,
+        "queue_bound": 64,
+        "autoscaler": Autoscaler(min_devices=1, max_devices=6, tick_ms=50.0),
+    },
+    "flood": {"devices": 4, "queue_bound": 32},
+}
+
+
+def _golden_reports(name: str) -> dict:
+    trace = Trace.load(TRACE_DIR / f"{name}.ndjson")
+    reports = compare_policies(trace, **REPLAY_PARAMS[name])
+    return {policy: report.to_json() for policy, report in reports.items()}
+
+
+class TestCommittedTraces:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_trace_matches_regenerated_scenario(self, name, tmp_path):
+        committed = TRACE_DIR / f"{name}.ndjson"
+        regenerated = tmp_path / f"{name}.ndjson"
+        scenario_trace(name, seed=SEED).save(regenerated)
+        assert committed.read_bytes() == regenerated.read_bytes()
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_trace_loads_and_validates(self, name):
+        trace = Trace.load(TRACE_DIR / f"{name}.ndjson")
+        assert trace.name == name
+        assert trace.seed == SEED
+        assert len(trace) > 0
+
+
+class TestGoldenStats:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_replay_reproduces_goldens(self, name):
+        golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        assert _golden_reports(name) == golden
+
+    def test_replay_is_deterministic_across_runs(self):
+        trace = Trace.load(TRACE_DIR / "burst.ndjson")
+        one = replay(trace, "weighted-fair", **REPLAY_PARAMS["burst"])
+        two = replay(trace, "weighted-fair", **REPLAY_PARAMS["burst"])
+        assert one.to_json() == two.to_json()
+
+
+class TestScenarioShape:
+    def test_flood_evicts_and_quota_caps_the_bully(self):
+        golden = json.loads((GOLDEN_DIR / "flood.json").read_text())
+        wfs = golden["weighted-fair"]
+        bully = next(t for t in wfs["tenants"] if t["name"] == "bully")
+        others = [t for t in wfs["tenants"] if t["name"] != "bully"]
+        assert bully["evicted"] > 0
+        assert all(t["evicted"] == 0 for t in others)
+        assert all(
+            t["mean_slowdown"] < bully["mean_slowdown"] for t in others
+        )
+
+    def test_burst_wfs_protects_low_priority_p99(self):
+        golden = json.loads((GOLDEN_DIR / "burst.json").read_text())
+
+        def background_p99(policy):
+            tenants = golden[policy]["tenants"]
+            return next(
+                t["p99_wait_ms"] for t in tenants if t["name"] == "background"
+            )
+
+        assert background_p99("weighted-fair") < background_p99(
+            "fifo-priority"
+        )
+        assert golden["weighted-fair"]["fairness"] >= 0.9
+
+    def test_diurnal_autoscaler_breathes(self):
+        golden = json.loads((GOLDEN_DIR / "diurnal.json").read_text())
+        for report in golden.values():
+            assert report["pool_min"] < report["pool_max"]
+            assert report["completed"] + report["evicted"] == (
+                report["submitted"]
+            )
+
+
+def _regen() -> None:
+    TRACE_DIR.mkdir(exist_ok=True)
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in sorted(SCENARIOS):
+        scenario_trace(name, seed=SEED).save(TRACE_DIR / f"{name}.ndjson")
+        payload = json.dumps(_golden_reports(name), indent=2, sort_keys=True)
+        (GOLDEN_DIR / f"{name}.json").write_text(payload + "\n")
+        print(f"regenerated {name}")
+
+
+if __name__ == "__main__":
+    if sys.argv[1:] == ["regen"]:
+        _regen()
+    else:
+        print(__doc__)

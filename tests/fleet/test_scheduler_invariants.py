@@ -1,0 +1,197 @@
+"""Fuzzed mechanism invariants: every policy, adversarial traces.
+
+The scheduler owns the mechanism guarantees (conservation, quota,
+progress, single completion) and the policies only express preference --
+so the same invariant sweep must hold for every registered policy over
+randomised stress traces that force contention, evictions, quota caps,
+and preemption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engines import sort
+from repro.engines.base import SortRequest
+from repro.fleet import (
+    POLICIES,
+    Autoscaler,
+    CostOracle,
+    FleetScheduler,
+    Tenant,
+    Trace,
+    TraceRequest,
+)
+from repro.workloads.traces import TenantLoad, generate_trace
+from repro.workloads.generators import paper_workload
+
+#: One oracle for the whole module so the planner prices each size once.
+ORACLE = CostOracle()
+
+
+def _stress_trace(seed: int) -> Trace:
+    """A contention-heavy trace: quotas, deadlines, floods, mixed sizes."""
+    loads = [
+        TenantLoad(
+            tenant=Tenant("greedy", priority=2, weight=2.0, max_concurrency=1),
+            rate_hz=220.0,
+            sizes="fixed",
+            n_min=1 << 16,
+            n_max=1 << 16,
+        ),
+        TenantLoad(
+            tenant=Tenant("urgent", priority=1),
+            arrivals="mmpp",
+            rate_hz=60.0,
+            burst_rate_hz=260.0,
+            sizes="lognormal",
+            size_median=1 << 14,
+            n_min=1 << 12,
+            n_max=1 << 16,
+            deadline_slack_ms=40.0,
+        ),
+        TenantLoad(
+            tenant=Tenant("meek", priority=0, weight=0.5),
+            rate_hz=90.0,
+            sizes="pareto",
+            n_min=1 << 12,
+            n_max=1 << 16,
+        ),
+    ]
+    return generate_trace("stress", loads, duration_ms=400.0, seed=seed)
+
+
+def _run(seed: int, policy: str) -> FleetScheduler:
+    scheduler = FleetScheduler(
+        _stress_trace(seed),
+        policy,
+        devices=2,
+        queue_bound=4,
+        oracle=ORACLE,
+    )
+    scheduler.run()
+    return scheduler
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Every (seed, policy) replay, shared across the invariant sweep."""
+    return {
+        (seed, policy): _run(seed, policy)
+        for seed in (0, 1, 2, 3, 4)
+        for policy in sorted(POLICIES)
+    }
+
+
+class TestConservation:
+    def test_every_request_ends_exactly_once(self, runs):
+        for (seed, policy), sched in runs.items():
+            states = [j.state for j in sched.jobs]
+            assert set(states) <= {"completed", "evicted"}, (seed, policy)
+            for job in sched.jobs:
+                expected = 1 if job.state == "completed" else 0
+                assert job.completions == expected, (seed, policy, job.index)
+                done_spans = [s for s in job.spans if s[2] == "completed"]
+                assert len(done_spans) == expected, (seed, policy, job.index)
+
+    def test_contention_actually_happened(self, runs):
+        # The sweep is vacuous if the traces never force hard decisions.
+        assert any(s.jobs and any(j.state == "evicted" for j in s.jobs)
+                   for s in runs.values())
+        assert any(any(j.preemptions > 0 for j in s.jobs)
+                   for s in runs.values())
+
+    def test_timestamps_are_ordered(self, runs):
+        for (seed, policy), sched in runs.items():
+            for job in sched.jobs:
+                for start, end, _outcome in job.spans:
+                    assert job.request.arrival_ms <= start <= end, (
+                        seed, policy, job.index,
+                    )
+                if job.state == "completed":
+                    assert job.completed_ms == job.spans[-1][1]
+
+
+class TestQuota:
+    def test_concurrency_never_exceeds_quota(self, runs):
+        for (seed, policy), sched in runs.items():
+            for tenant in sched.trace.tenants:
+                quota = tenant.max_concurrency
+                if quota is None:
+                    continue
+                events = []
+                for job in sched.jobs:
+                    if job.tenant.name != tenant.name:
+                        continue
+                    for start, end, _outcome in job.spans:
+                        events.append((start, 1))
+                        events.append((end, -1))
+                events.sort(key=lambda e: (e[0], e[1]))
+                live = peak = 0
+                for _t, delta in events:
+                    live += delta
+                    peak = max(peak, live)
+                assert peak <= quota, (seed, policy, tenant.name)
+
+
+class TestProgress:
+    def test_preempted_requests_eventually_complete(self, runs):
+        preempted_seen = 0
+        for (seed, policy), sched in runs.items():
+            for job in sched.jobs:
+                if job.preemptions > 0:
+                    preempted_seen += 1
+                    assert job.state == "completed", (seed, policy, job.index)
+        assert preempted_seen > 0  # the sweep exercised preemption
+
+    def test_preemption_budget_holds(self, runs):
+        for (seed, policy), sched in runs.items():
+            for job in sched.jobs:
+                assert job.preemptions <= sched.max_preemptions
+
+
+class TestPoolBounds:
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_autoscaled_replay_keeps_invariants(self, policy):
+        sched = FleetScheduler(
+            _stress_trace(9),
+            policy,
+            devices=1,
+            autoscaler=Autoscaler(min_devices=1, max_devices=3, tick_ms=10.0),
+            queue_bound=4,
+            oracle=ORACLE,
+        )
+        report = sched.run()
+        assert 1 <= report.pool_min <= report.pool_max <= 3
+        assert all(j.state in ("completed", "evicted") for j in sched.jobs)
+        assert report.completed + report.evicted == report.submitted
+
+
+class TestOutputIdentity:
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_fleet_outputs_match_direct_sort(self, policy):
+        tenant = Tenant("t", max_concurrency=2)
+        requests = tuple(
+            TraceRequest(float(i), "t", 256 << (i % 3), seed=100 + i)
+            for i in range(9)
+        )
+        sched = FleetScheduler(
+            Trace("identity", 0, (tenant,), requests),
+            policy,
+            devices=2,
+            execute=True,
+            oracle=ORACLE,
+        )
+        report = sched.run()
+        assert report.completed == len(requests)
+        for job in sched.jobs:
+            direct = sort(
+                SortRequest(
+                    values=paper_workload(job.request.n, seed=job.request.seed)
+                )
+            ).values
+            np.testing.assert_array_equal(sched.results[job.index], direct)
+        assert report.telemetry is not None
+        assert report.telemetry.n == sum(r.n for r in requests)
+        assert report.telemetry.requests == len(requests)

@@ -1,0 +1,182 @@
+"""Trace generators: determinism, NDJSON round-trip, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SortInputError
+from repro.workloads.rng import seeded_rng
+from repro.workloads.traces import (
+    SCENARIOS,
+    SIZE_GRANULE,
+    Tenant,
+    TenantLoad,
+    Trace,
+    TraceRequest,
+    diurnal_arrivals,
+    generate_trace,
+    lognormal_sizes,
+    mmpp_arrivals,
+    pareto_sizes,
+    poisson_arrivals,
+    scenario_trace,
+)
+
+
+def _two_tenant_trace(seed: int = 3) -> Trace:
+    loads = [
+        TenantLoad(tenant=Tenant("a", priority=1, weight=2.0), rate_hz=40.0),
+        TenantLoad(
+            tenant=Tenant("b", max_concurrency=2),
+            arrivals="mmpp",
+            rate_hz=10.0,
+            sizes="pareto",
+            deadline_slack_ms=100.0,
+        ),
+    ]
+    return generate_trace("two", loads, duration_ms=500.0, seed=seed)
+
+
+class TestGenerators:
+    def test_arrivals_sorted_and_bounded(self):
+        rng = seeded_rng(1)
+        for arrivals in (
+            poisson_arrivals(rng, 50.0, 1000.0),
+            mmpp_arrivals(rng, 10.0, 200.0, 1000.0),
+            diurnal_arrivals(rng, 50.0, 1000.0),
+        ):
+            assert arrivals == sorted(arrivals)
+            assert all(0.0 <= t < 1000.0 for t in arrivals)
+            assert arrivals  # these rates produce traffic over a second
+
+    def test_zero_rate_produces_nothing(self):
+        assert poisson_arrivals(seeded_rng(0), 0.0, 1000.0) == []
+        assert diurnal_arrivals(seeded_rng(0), 0.0, 1000.0) == []
+
+    def test_diurnal_depth_validated(self):
+        with pytest.raises(SortInputError):
+            diurnal_arrivals(seeded_rng(0), 10.0, 100.0, depth=1.5)
+
+    def test_sizes_granulated_and_clamped(self):
+        rng = seeded_rng(2)
+        for sizes in (
+            lognormal_sizes(rng, 200, median=4096, n_min=128, n_max=8192),
+            pareto_sizes(rng, 200, n_min=128, n_max=8192),
+        ):
+            assert all(128 <= n <= 8192 for n in sizes)
+            assert all(
+                n % SIZE_GRANULE == 0 or n == 8192 for n in sizes
+            )
+
+    def test_heavy_tail_is_heavy(self):
+        sizes = lognormal_sizes(
+            seeded_rng(3), 2000, median=4096, sigma=1.0, n_max=1 << 18
+        )
+        assert max(sizes) > 10 * (sum(sizes) / len(sizes)) / 2
+
+    def test_unknown_kinds_rejected(self):
+        bad_arrival = TenantLoad(tenant=Tenant("x"), arrivals="burst")
+        with pytest.raises(SortInputError, match="arrival process"):
+            bad_arrival.arrival_times(seeded_rng(0), 100.0)
+        bad_sizes = TenantLoad(tenant=Tenant("x"), sizes="zipf")
+        with pytest.raises(SortInputError, match="size distribution"):
+            bad_sizes.request_sizes(seeded_rng(0), 5)
+
+
+class TestTraceModel:
+    def test_generate_is_deterministic(self):
+        assert _two_tenant_trace() == _two_tenant_trace()
+
+    def test_seed_changes_the_trace(self):
+        assert _two_tenant_trace(3) != _two_tenant_trace(4)
+
+    def test_requests_are_arrival_ordered_with_unique_seeds(self):
+        trace = _two_tenant_trace()
+        arrivals = [r.arrival_ms for r in trace.requests]
+        assert arrivals == sorted(arrivals)
+        seeds = [r.seed for r in trace.requests]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_deadlines_follow_slack(self):
+        trace = _two_tenant_trace()
+        for request in trace.requests:
+            if request.tenant == "b":
+                assert request.deadline_ms == request.arrival_ms + 100.0
+            else:
+                assert request.deadline_ms is None
+
+    def test_tenant_validation(self):
+        with pytest.raises(SortInputError):
+            Tenant("")
+        with pytest.raises(SortInputError):
+            Tenant("x", weight=0.0)
+        with pytest.raises(SortInputError):
+            Tenant("x", max_concurrency=0)
+
+    def test_trace_validation(self):
+        t = Tenant("a")
+        with pytest.raises(SortInputError, match="unknown tenant"):
+            Trace(
+                "t",
+                0,
+                (t,),
+                (TraceRequest(0.0, "ghost", 64, 1),),
+            )
+        with pytest.raises(SortInputError, match="arrival-ordered"):
+            Trace(
+                "t",
+                0,
+                (t,),
+                (
+                    TraceRequest(5.0, "a", 64, 1),
+                    TraceRequest(1.0, "a", 64, 2),
+                ),
+            )
+        with pytest.raises(SortInputError, match="duplicate"):
+            Trace("t", 0, (t, Tenant("a", priority=1)), ())
+
+
+class TestNdjson:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        trace = _two_tenant_trace()
+        first = tmp_path / "t1.ndjson"
+        second = tmp_path / "t2.ndjson"
+        trace.save(first)
+        reloaded = Trace.load(first)
+        assert reloaded == trace
+        reloaded.save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_header_line_is_required(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text(json.dumps({"arrival_ms": 0.0}) + "\n")
+        with pytest.raises(SortInputError, match="not a repro trace"):
+            Trace.load(path)
+        path.write_text("")
+        with pytest.raises(SortInputError, match="empty"):
+            Trace.load(path)
+
+    def test_json_round_trip(self):
+        trace = _two_tenant_trace()
+        assert Trace.from_json(trace.to_json()) == trace
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenarios_build_deterministically(self, name):
+        one = scenario_trace(name, seed=11)
+        two = scenario_trace(name, seed=11)
+        assert one == two
+        assert len(one) > 0
+        assert one.name == name
+
+    def test_unknown_scenario(self):
+        with pytest.raises(SortInputError, match="unknown scenario"):
+            scenario_trace("weekend")
+
+    def test_duration_override(self):
+        short = scenario_trace("burst", seed=0, duration_ms=300.0)
+        assert short.duration_ms < 300.0
+        assert len(short) < len(scenario_trace("burst", seed=0))

@@ -19,10 +19,11 @@ from hypothesis.stateful import (
 
 from repro.hybrid.disk import SimulatedDisk
 from repro.stream.stream import VALUE_DTYPE
+from repro.workloads.rng import seeded_rng
 
 
 def _values(n: int, seed: int) -> np.ndarray:
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     out = np.empty(n, dtype=VALUE_DTYPE)
     out["key"] = rng.random(n, dtype=np.float32)
     out["id"] = rng.integers(0, 2**32, n, dtype=np.uint32)

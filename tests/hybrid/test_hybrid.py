@@ -17,6 +17,7 @@ from repro.hybrid.keygen import (
     sort_wide_keys,
 )
 from repro.stream.stream import VALUE_DTYPE
+from repro.workloads.rng import seeded_rng
 
 
 class TestSimulatedDisk:
@@ -185,7 +186,7 @@ class TestExternalSorter:
     @given(n=st.integers(1, 400), chunk_e=st.integers(4, 7))
     @settings(max_examples=10)
     def test_property_random_sizes(self, n, chunk_e):
-        rng = np.random.default_rng(n)
+        rng = seeded_rng(n)
         disk = SimulatedDisk(VALUE_DTYPE)
         data = make_values(rng.random(n, dtype=np.float32))
         disk.write_file("in", data)

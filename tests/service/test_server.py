@@ -7,6 +7,7 @@ import json
 import re
 import subprocess
 import sys
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -20,6 +21,33 @@ from repro.service import (
 )
 
 REPO = Path(__file__).resolve().parent.parent.parent
+
+#: Per-test ceiling for socket round trips: a wedged server must fail the
+#: test, not hang the whole suite (pytest-timeout is deliberately not a
+#: dependency).
+TIMEOUT_S = 60.0
+
+
+def _run(coro):
+    """``asyncio.run`` with the suite's hang ceiling applied."""
+    return asyncio.run(asyncio.wait_for(coro, TIMEOUT_S))
+
+
+def _readline_timeout(stream, timeout_s: float = TIMEOUT_S) -> str:
+    """Read one line from a subprocess pipe, bounded by ``timeout_s``.
+
+    ``stream.readline()`` on a pipe blocks forever if the child never
+    writes; a daemon thread keeps the timeout enforceable.
+    """
+    box: list[str] = []
+    thread = threading.Thread(
+        target=lambda: box.append(stream.readline()), daemon=True
+    )
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise TimeoutError(f"no line from subprocess in {timeout_s:.0f}s")
+    return box[0]
 
 
 async def _open(service):
@@ -68,7 +96,7 @@ def test_round_trip_and_control_ops(rng):
                 server.close()
                 await server.wait_closed()
 
-    asyncio.run(run())
+    _run(run())
 
 
 def test_pipelined_lines_coalesce_and_tag(rng):
@@ -102,7 +130,7 @@ def test_pipelined_lines_coalesce_and_tag(rng):
         assert svc.stats.batches == 1
         assert svc.stats.largest_batch == 3
 
-    asyncio.run(run())
+    _run(run())
 
 
 def test_overload_response_carries_retry_after(rng):
@@ -141,7 +169,7 @@ def test_overload_response_carries_retry_after(rng):
                 await server.wait_closed()
         assert svc.stats.rejected == 1
 
-    asyncio.run(run())
+    _run(run())
 
 
 def test_engine_errors_are_reported_per_line():
@@ -166,7 +194,7 @@ def test_engine_errors_are_reported_per_line():
                 server.close()
                 await server.wait_closed()
 
-    asyncio.run(run())
+    _run(run())
 
 
 def test_cli_serve_limit_smoke(rng):
@@ -184,7 +212,7 @@ def test_cli_serve_limit_smoke(rng):
         env={"PYTHONPATH": "src"},
     )
     try:
-        ready = proc.stdout.readline()
+        ready = _readline_timeout(proc.stdout)
         match = re.search(r"serving on .*:(\d+) ", ready)
         assert match, f"no listening line: {ready!r}"
         port = int(match.group(1))
@@ -196,7 +224,7 @@ def test_cli_serve_limit_smoke(rng):
             b = await request_sort("127.0.0.1", port, [5.0, 4.0])
             return a, b
 
-        a, b = asyncio.run(clients())
+        a, b = _run(clients())
         assert a["keys"] == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.3)]
         assert b["keys"] == [4.0, 5.0]
         out, err = proc.communicate(timeout=60)
@@ -244,4 +272,4 @@ def test_malformed_keys_still_get_a_response():
                 server.close()
                 await server.wait_closed()
 
-    asyncio.run(run())
+    _run(run())

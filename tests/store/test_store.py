@@ -15,6 +15,7 @@ import pytest
 import repro
 from repro.errors import SortInputError
 from repro.store import MANIFEST_NAME, SortedStore
+from repro.workloads.rng import seeded_rng
 
 #: The acceptance matrix: at least three distinct compaction policies.
 POLICIES = [(2, 1), (3, 2), (4, 4)]
@@ -68,7 +69,7 @@ class TestBitIdentity:
         cached = SortedStore(tmp_path / "a", engine="cpu-std")
         cold = SortedStore(tmp_path / "b", engine="cpu-std", cache_pairs=0)
         for store in (cached, cold):
-            store_rng = np.random.default_rng(7)
+            store_rng = seeded_rng(7)
             _fill(store, store_rng, batches=3, size=128)
         assert np.array_equal(cached.range(0.2, 0.8), cold.range(0.2, 0.8))
         assert np.array_equal(cached.top_k(10), cold.top_k(10))

@@ -11,6 +11,9 @@ from repro.__main__ import main
 from repro.service import SortService, start_server
 from repro.store import SortedStore
 
+#: Hang ceiling for socket round trips (no pytest-timeout dependency).
+TIMEOUT_S = 60.0
+
 
 async def _call(reader, writer, obj):
     writer.write((json.dumps(obj) + "\n").encode())
@@ -82,7 +85,7 @@ def test_store_protocol_over_socket(tmp_path, rng):
                 server.close()
                 await server.wait_closed()
 
-    asyncio.run(run())
+    asyncio.run(asyncio.wait_for(run(), TIMEOUT_S))
 
 
 def test_store_lines_without_a_store_error_cleanly():
@@ -102,7 +105,7 @@ def test_store_lines_without_a_store_error_cleanly():
                 server.close()
                 await server.wait_closed()
 
-    asyncio.run(run())
+    asyncio.run(asyncio.wait_for(run(), TIMEOUT_S))
 
 
 class TestStoreCLI:

@@ -18,6 +18,7 @@ from repro.stream.cache import (
     rect_read_efficiency,
 )
 from repro.stream.mapping2d import Rect, RowWiseMapping, ZOrderMapping
+from repro.workloads.rng import seeded_rng
 
 
 class TestCacheConfig:
@@ -213,7 +214,7 @@ class TestVectorizedAccessEquality:
 
     @pytest.mark.parametrize("seed", range(6))
     def test_random_traces(self, seed):
-        rng = np.random.default_rng(seed)
+        rng = seeded_rng(seed)
         cfg = CacheConfig(
             block=int(2 ** rng.integers(0, 4)),
             capacity_blocks=int(rng.integers(1, 40)),
@@ -276,7 +277,7 @@ class TestCountLeftLeq:
     def test_brute_force(self):
         from repro.stream.cache import _count_left_leq
 
-        rng = np.random.default_rng(0)
+        rng = seeded_rng(0)
         for _ in range(60):
             n = int(rng.integers(0, 70))
             # The access-path domain: prev-occurrence indexes in [-1, n).

@@ -33,6 +33,7 @@ def test_docs_exist():
         "execution.md",
         "service.md",
         "store.md",
+        "fleet.md",
         "cookbook.md",
     } <= names
 
