@@ -34,7 +34,7 @@ TABLE_SIZES_FAST = tuple(1 << e for e in range(13, 18))
 TABLE_SIZES_FULL = tuple(1 << e for e in range(15, 21))
 
 #: Benchmark modules whose JSON is mirrored to the tracked repo root.
-TRACKED_BENCHES = frozenset({"exec_tier", "stream_tier", "fleet_policies"})
+TRACKED_BENCHES = frozenset({"exec_tier", "stream_tier", "fleet_policies", "obs_overhead"})
 
 #: The repository root (two levels up from this conftest).
 REPO_ROOT = Path(__file__).resolve().parent.parent

@@ -90,7 +90,7 @@ def plan(request, **kwargs):
     return chosen.plan(_as_request(request))
 
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ReproError",

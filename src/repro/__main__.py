@@ -8,6 +8,9 @@ Commands
 ``cluster``   sharded sort across N modeled devices with overlap pipeline
 ``serve``     run the async sort service over a newline-delimited-JSON socket
 ``store``     persistent sorted store: insert/query/topk/compact/stats
+``fleet``     multi-tenant fleet: trace generate/replay/compare
+``metrics``   scrape a live server's metrics, or summarize a metrics NDJSON
+``report``    reproduction checklist; ``report health`` analyzes pool health
 ``backends``  list the registered sort engines with their capability flags
 ``figures``   regenerate the paper's Figures 1 and 4-7 as text
 ``table2``    regenerate Table 2 (GeForce 6800 / AGP) with its plot
@@ -27,6 +30,9 @@ Examples::
     python -m repro plan --n 65536 --gpu 6800
     python -m repro cluster --n 65536 --devices 4 --gpu 7800
     python -m repro serve --port 7806 --devices 4
+    python -m repro metrics --port 7806
+    python -m repro fleet replay --scenario burst --metrics-out /tmp/m.ndjson
+    python -m repro report health --scenario burst --out /tmp/health.html
     python -m repro store insert --path /tmp/demo-store --n 4096
     python -m repro store query --path /tmp/demo-store --lo 0.25 --hi 0.75
     python -m repro store compact --path /tmp/demo-store --explain
@@ -202,11 +208,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
     until interrupted -- or, with ``--limit N``, until N responses have
     been written (the smoke-test hook).  Prints the final service stats
     on shutdown.  Wire protocol: :mod:`repro.service.server`.
+
+    Every server carries instrumentation (``{"op": "metrics"}`` and
+    ``{"op": "trace"}`` always answer); ``--metrics-out`` additionally
+    appends a metrics-NDJSON sample every second and ``--trace-out``
+    saves the request spans as Chrome trace JSON at shutdown.
     """
     import asyncio
 
     from repro.analysis.cluster_report import format_service_stats
-    from repro.service import ServiceConfig, SortService, serve_forever
+    from repro.service import (
+        ServiceConfig,
+        SortService,
+        instrument,
+        serve_forever,
+    )
     from repro.stream.gpu_model import (
         AGP_SYSTEM,
         GEFORCE_6800_ULTRA,
@@ -249,6 +265,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         store = SortedStore(
             args.store, gpu=gpu, host=host_model, exec_tier=args.exec_tier
         )
+    instrument(service, store=store)
     try:
         asyncio.run(
             serve_forever(
@@ -259,6 +276,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 on_ready=on_ready,
                 service=service,
                 store=store,
+                metrics_out=args.metrics_out,
+                trace_out=args.trace_out,
             )
         )
     except KeyboardInterrupt:
@@ -327,11 +346,16 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     trace under every built-in policy side by side, and ``policies``
     lists the built-ins.  Everything is virtual-time and seeded, so two
     replays of the same trace print identical numbers.
+
+    ``replay`` takes ``--metrics-out`` (virtual-time metrics NDJSON,
+    sampled as the replay advances) and ``--trace-out`` (per-job spans as
+    Chrome trace JSON) -- a :class:`~repro.fleet.FleetObserver` rides the
+    replay and captures both.
     """
     import json as _json
 
     from repro.analysis.cluster_report import format_fleet_report
-    from repro.fleet import Autoscaler, compare_policies, replay
+    from repro.fleet import Autoscaler, FleetObserver, compare_policies, replay
     from repro.fleet.policy import POLICIES
     from repro.workloads.traces import Trace, scenario_trace
 
@@ -363,17 +387,24 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             min_devices=args.min_devices, max_devices=args.max_devices
         )
     if args.action == "replay":
+        observer = None
+        if args.metrics_out is not None or args.trace_out is not None:
+            observer = FleetObserver(metrics_path=args.metrics_out)
         report = replay(
             trace,
             args.policy,
             devices=args.devices,
             autoscaler=autoscaler,
             queue_bound=args.queue_bound,
+            observer=observer,
         )
         if args.json:
             print(_json.dumps(report.to_json(), indent=2))
         else:
             print(format_fleet_report(report))
+        if observer is not None and args.trace_out is not None:
+            path = observer.spans.save(args.trace_out)
+            print(f"wrote {len(observer.spans)} spans to {path}")
     else:  # compare
         reports = compare_policies(
             trace,
@@ -587,6 +618,87 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """``metrics``: scrape a live server or summarize a metrics NDJSON.
+
+    Without ``--samples``: one ``{"op": "metrics"}`` round trip against
+    ``--host``/``--port`` prints the server's Prometheus-style text
+    exposition.  With ``--samples FILE``: reads a metrics-NDJSON series
+    (what ``serve --metrics-out`` / ``fleet replay --metrics-out``
+    append) and prints the final sample as a table.
+    """
+    import asyncio
+
+    if args.samples is not None:
+        from repro.analysis.cluster_report import format_metrics_samples
+        from repro.obs import read_samples
+
+        samples = read_samples(args.samples)
+        if not samples:
+            print(f"no samples in {args.samples}")
+            return 0
+        last = samples[-1]
+        print(
+            format_metrics_samples(
+                last["metrics"],
+                title=(
+                    f"metrics at t={last['t_ms']:.1f} ms "
+                    f"(sample {last['seq'] + 1} of {len(samples)})"
+                ),
+            )
+        )
+        return 0
+
+    from repro.service import request_op
+
+    response = asyncio.run(request_op(args.host, args.port, "metrics"))
+    if "error" in response:
+        raise repro.ReproError(response["error"])
+    print(response["metrics"], end="")
+    return 0
+
+
+def cmd_report_health(args: argparse.Namespace) -> int:
+    """``report health``: pool-health analysis of one fleet replay.
+
+    Replays a trace (a file or a named scenario) under a
+    :class:`~repro.fleet.FleetObserver`, folds the replay into a
+    :class:`~repro.obs.PoolHealth` summary, and prints it (``--json`` for
+    the machine-readable record).  ``--out`` additionally writes the
+    static HTML report.
+    """
+    import json as _json
+
+    from repro.analysis.cluster_report import format_pool_health
+    from repro.fleet import FleetObserver, replay
+    from repro.obs import analyze_pool_health, save_health_html
+    from repro.workloads.traces import Trace, scenario_trace
+
+    if args.trace is not None:
+        trace = Trace.load(args.trace)
+    else:
+        trace = scenario_trace(
+            args.scenario, seed=args.seed, duration_ms=args.duration_ms
+        )
+    observer = FleetObserver(metrics_path=args.metrics_out)
+    report = replay(
+        trace,
+        args.policy,
+        devices=args.devices,
+        queue_bound=args.queue_bound,
+        observer=observer,
+    )
+    health = analyze_pool_health(report, observer=observer)
+    if args.json:
+        print(_json.dumps(health.to_json(), indent=2))
+    else:
+        print(format_pool_health(health))
+    if args.out is not None:
+        path = save_health_html(health, args.out)
+        print(f"wrote HTML report to {path}")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """``profile``: per-tag cost breakdown of one sort on any engine."""
     from repro.analysis.profile import format_profile, profile_run
@@ -709,6 +821,14 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="exec_tier",
                        help="execution tier stamped on unpinned requests "
                             "and the attached store (default: the planner)")
+    p_srv.add_argument("--metrics-out", default=None, dest="metrics_out",
+                       metavar="FILE",
+                       help="append a metrics-NDJSON sample here every "
+                            "second (and once at shutdown)")
+    p_srv.add_argument("--trace-out", default=None, dest="trace_out",
+                       metavar="FILE",
+                       help="write the request spans as Chrome trace JSON "
+                            "at shutdown")
     p_srv.set_defaults(func=cmd_serve)
 
     p_store = sub.add_parser(
@@ -758,6 +878,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fl_rep.add_argument("--policy", default="weighted-fair",
                         help="scheduling policy (see `fleet policies`)")
+    fl_rep.add_argument("--metrics-out", default=None, dest="metrics_out",
+                        metavar="FILE",
+                        help="append virtual-time metrics-NDJSON samples "
+                             "of the replay here")
+    fl_rep.add_argument("--trace-out", default=None, dest="trace_out",
+                        metavar="FILE",
+                        help="write the replay's job spans as Chrome "
+                             "trace JSON")
     fl_cmp = fleet_sub.add_parser(
         "compare", help="replay one trace under every built-in policy"
     )
@@ -818,7 +946,52 @@ def build_parser() -> argparse.ArgumentParser:
                              "and so the profile, is tier-identical)")
     p_prof.set_defaults(func=cmd_profile)
 
-    p_rep = sub.add_parser("report", help="quick reproduction checklist")
+    p_met = sub.add_parser(
+        "metrics", help="scrape a live server or summarize a metrics NDJSON"
+    )
+    p_met.add_argument("--host", default="127.0.0.1")
+    p_met.add_argument("--port", type=int, default=7806,
+                       help="server to scrape with {\"op\": \"metrics\"} "
+                            "(default 7806)")
+    p_met.add_argument("--samples", default=None, metavar="FILE",
+                       help="summarize this metrics-NDJSON file instead "
+                            "of scraping a server")
+    p_met.set_defaults(func=cmd_metrics)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="reproduction checklist (default) or pool-health analysis",
+    )
+    rep_sub = p_rep.add_subparsers(dest="what")
+    rep_health = rep_sub.add_parser(
+        "health", help="analyze pool health from one fleet replay"
+    )
+    rep_health.add_argument("--scenario", default="burst",
+                            help="named scenario when no --trace is given "
+                                 "(burst, diurnal, flood)")
+    rep_health.add_argument("--trace", default=None,
+                            help="replay this NDJSON trace file instead of "
+                                 "a generated scenario")
+    rep_health.add_argument("--policy", default="weighted-fair",
+                            help="scheduling policy (see `fleet policies`)")
+    rep_health.add_argument("--seed", type=int, default=0)
+    rep_health.add_argument("--duration-ms", type=float, default=None,
+                            dest="duration_ms",
+                            help="trace length (default: the scenario's own)")
+    rep_health.add_argument("--devices", type=int, default=4,
+                            help="modeled device pool size")
+    rep_health.add_argument("--queue-bound", type=int, default=64,
+                            dest="queue_bound",
+                            help="per-tenant queue depth before eviction")
+    rep_health.add_argument("--metrics-out", default=None, dest="metrics_out",
+                            metavar="FILE",
+                            help="also append the replay's metrics-NDJSON "
+                                 "samples here")
+    rep_health.add_argument("--out", default=None, metavar="FILE",
+                            help="also write the static HTML report here")
+    rep_health.add_argument("--json", action="store_true",
+                            help="print the machine-readable health record")
+    rep_health.set_defaults(func=cmd_report_health)
     p_rep.set_defaults(func=cmd_report)
     return parser
 

@@ -24,6 +24,9 @@ the layers of the system:
 * :class:`StoreError` -- problems at the :mod:`repro.store` layer (a
   corrupt or unreadable manifest, a run file that does not match its
   manifest record).
+* :class:`ObsError` -- problems at the :mod:`repro.obs` observability
+  layer (invalid metric or label names, duplicate registrations,
+  malformed exposition or sample records).
 """
 
 from __future__ import annotations
@@ -127,4 +130,14 @@ class StoreError(ReproError):
     run file whose on-disk size disagrees with its recorded length.
     Invalid *queries* (bad ranges, negative k) raise the usual
     :class:`SortInputError` instead.
+    """
+
+
+class ObsError(ReproError):
+    """A problem at the :mod:`repro.obs` observability layer.
+
+    Raised for invalid metric/label names, duplicate registrations,
+    misuse of labelled or callback-backed instruments, malformed
+    exposition text handed to the parser, and metrics-NDJSON records
+    that fail the sample schema check.
     """

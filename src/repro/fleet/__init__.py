@@ -32,6 +32,7 @@ socket.  See ``docs/fleet.md``.
 
 from repro.fleet.autoscaler import Autoscaler
 from repro.fleet.harness import compare_policies, replay, replay_scenario
+from repro.fleet.observe import FleetObserver
 from repro.fleet.policy import (
     POLICIES,
     DeadlineEdfPolicy,
@@ -56,6 +57,7 @@ __all__ = [
     "POLICIES",
     "make_policy",
     "FleetScheduler",
+    "FleetObserver",
     "CostOracle",
     "Job",
     "FleetReport",

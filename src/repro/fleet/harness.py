@@ -32,13 +32,16 @@ def replay(
     max_preemptions: int = 2,
     execute: bool = False,
     oracle: CostOracle | None = None,
+    observer=None,
 ) -> FleetReport:
     """Replay ``trace`` under ``policy`` and return the fleet report.
 
     Parameters mirror :class:`~repro.fleet.scheduler.FleetScheduler`;
     ``execute=True`` additionally sorts every completed request through
     the real engine stack (slow, for identity tests), the default keeps
-    execution modeled (costs only).
+    execution modeled (costs only).  ``observer`` (a
+    :class:`~repro.fleet.observe.FleetObserver`) rides along and captures
+    metrics, job spans, and virtual-time samples for the same replay.
     """
     return FleetScheduler(
         trace,
@@ -49,6 +52,7 @@ def replay(
         max_preemptions=max_preemptions,
         execute=execute,
         oracle=oracle,
+        observer=observer,
     ).run()
 
 

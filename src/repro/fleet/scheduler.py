@@ -140,6 +140,13 @@ class FleetScheduler:
     oracle:
         Optional shared :class:`CostOracle` (replays of the same trace
         family reuse its memo).
+    observer:
+        Optional :class:`~repro.fleet.observe.FleetObserver` (or any
+        object with its hook methods).  The scheduler calls it on every
+        arrival / start / preemption / completion / eviction / pool
+        resize and once per processed event with the pool occupancy,
+        all in virtual time, so the observer's metrics, spans, and
+        samples are as reproducible as the replay itself.
     """
 
     def __init__(
@@ -153,6 +160,7 @@ class FleetScheduler:
         max_preemptions: int = 2,
         execute: bool = False,
         oracle: CostOracle | None = None,
+        observer=None,
     ):
         if devices < 1:
             raise SortInputError(f"fleet needs devices >= 1, got {devices}")
@@ -169,6 +177,7 @@ class FleetScheduler:
         self.max_preemptions = max_preemptions
         self.execute = execute
         self.oracle = oracle or CostOracle()
+        self.observer = observer
         self.pool_size = (
             autoscaler.clamp(devices) if autoscaler else devices
         )
@@ -218,6 +227,8 @@ class FleetScheduler:
             )
         self._ran = True
         self.policy.reset()
+        if self.observer is not None:
+            self.observer.on_begin(self.pool_size)
         for job in self.jobs:
             self._push(job.request.arrival_ms, "arrival", job)
         self._arrivals_pending = len(self.jobs)
@@ -229,6 +240,8 @@ class FleetScheduler:
             if kind == "arrival":
                 assert job is not None
                 self._arrivals_pending -= 1
+                if self.observer is not None:
+                    self.observer.on_arrival(job, self._now)
                 self._admit(job)
             elif kind == "done":
                 assert job is not None
@@ -236,6 +249,13 @@ class FleetScheduler:
             elif kind == "tick":
                 self._autoscale()
             self._dispatch()
+            if self.observer is not None:
+                self.observer.on_event(
+                    self._now, len(self._queue), len(self._running),
+                    self.pool_size,
+                )
+        if self.observer is not None:
+            self.observer.on_finish(self._now)
         return self._report()
 
     def _admit(self, job: Job) -> None:
@@ -251,6 +271,8 @@ class FleetScheduler:
             if victim is not job and victim not in candidates:
                 victim = job  # a policy may only evict from this tenant
             victim.state = "evicted"
+            if self.observer is not None:
+                self.observer.on_evict(victim, self._now)
             if victim is not job:
                 self._queue.remove(victim)
                 self._queue.append(job)
@@ -265,6 +287,8 @@ class FleetScheduler:
         job.epoch += 1
         self._running[job.index] = job
         self.policy.on_start(job, self._now)
+        if self.observer is not None:
+            self.observer.on_start(job, self._now)
         self._push(self._now + job.duration_ms, "done", job, job.epoch)
 
     def _preempt(self, victim: Job) -> None:
@@ -273,6 +297,8 @@ class FleetScheduler:
         victim.epoch += 1  # invalidates the in-flight completion event
         victim.preemptions += 1
         victim.spans.append((victim.started_ms, self._now, "preempted"))
+        if self.observer is not None:
+            self.observer.on_preempt(victim, self._now, victim.started_ms)
         victim.started_ms = None
         self._queue.append(victim)
         self.policy.on_preempt(victim, self._now)
@@ -286,6 +312,8 @@ class FleetScheduler:
         job.completions += 1
         job.spans.append((job.started_ms, self._now, "completed"))
         self.policy.on_complete(job, self._now)
+        if self.observer is not None:
+            self.observer.on_complete(job, self._now)
         if self.execute:
             self._execute(job)
 
@@ -339,6 +367,8 @@ class FleetScheduler:
         if target != self.pool_size:
             self.pool_size = target
             self._pool_timeline.append((self._now, target))
+            if self.observer is not None:
+                self.observer.on_pool(self._now, target)
         if self._queue or self._running or self._arrivals_pending:
             self._push(self._now + self.autoscaler.tick_ms, "tick", None)
 

@@ -140,6 +140,15 @@ class FleetReport:
     pool_max: int
     pool_timeline: tuple[tuple[float, int], ...] = ()
     telemetry: SortTelemetry | None = field(default=None, compare=False)
+    #: Virtual time the replay started (the trace epoch; 0.0 by
+    #: construction).  Stamped so counter fields can be read as rates
+    #: over :attr:`uptime_ms` -- deterministic, unlike a wall clock.
+    started_ms: float = 0.0
+
+    @property
+    def uptime_ms(self) -> float:
+        """Virtual time the replay covered (start to last event)."""
+        return self.makespan_ms - self.started_ms
 
     @property
     def submitted(self) -> int:
@@ -175,6 +184,8 @@ class FleetReport:
             "seed": self.seed,
             "policy": self.policy,
             "devices": self.devices,
+            "started_ms": round(self.started_ms, 6),
+            "uptime_ms": round(self.uptime_ms, 6),
             "makespan_ms": round(self.makespan_ms, 6),
             "fairness": round(self.fairness, 6),
             "submitted": self.submitted,

@@ -1,0 +1,111 @@
+"""Time-series persistence: periodic metric snapshots as NDJSON.
+
+A :class:`MetricsSampler` appends one JSON line per sample tick to a
+file: ``{"t_ms": <timestamp>, "seq": <n>, "metrics": [{"name": ...,
+"labels": {...}, "value": ...}, ...]}``.  The timestamp is whatever
+clock the owner runs on -- wall milliseconds since service start for
+``python -m repro serve --metrics-out``, *virtual* milliseconds for
+fleet replays (deterministic files, golden-testable).  The flattened
+``metrics`` records are :meth:`repro.obs.metrics.Sample.to_json` forms,
+histogram ``_bucket``/``_sum``/``_count`` series included, so a file
+replays the full exposition over time.
+
+:func:`validate_sample_line` is the schema contract: CI runs it over
+every persisted line (the metrics-NDJSON schema check), and
+:func:`read_samples` applies it on load so analysis never sees a
+malformed record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "MetricsSampler",
+    "validate_sample_line",
+    "read_samples",
+]
+
+
+def validate_sample_line(record: dict) -> dict:
+    """Check one parsed NDJSON sample record against the schema.
+
+    Returns the record on success; raises
+    :class:`~repro.errors.ObsError` naming the violated field otherwise.
+    The schema: ``t_ms`` (number), ``seq`` (non-negative int), and
+    ``metrics`` -- a list of ``{"name": str, "labels": {str: str},
+    "value": number}`` objects.
+    """
+    if not isinstance(record, dict):
+        raise ObsError(f"sample record must be an object, got {type(record).__name__}")
+    if not isinstance(record.get("t_ms"), (int, float)):
+        raise ObsError("sample record needs a numeric 't_ms'")
+    seq = record.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise ObsError("sample record needs a non-negative integer 'seq'")
+    metrics = record.get("metrics")
+    if not isinstance(metrics, list):
+        raise ObsError("sample record needs a 'metrics' list")
+    for i, sample in enumerate(metrics):
+        if not isinstance(sample, dict):
+            raise ObsError(f"metrics[{i}] must be an object")
+        if not isinstance(sample.get("name"), str) or not sample["name"]:
+            raise ObsError(f"metrics[{i}] needs a non-empty 'name'")
+        labels = sample.get("labels")
+        if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in labels.items()
+        ):
+            raise ObsError(f"metrics[{i}] needs string-to-string 'labels'")
+        if not isinstance(sample.get("value"), (int, float)):
+            raise ObsError(f"metrics[{i}] needs a numeric 'value'")
+    return record
+
+
+class MetricsSampler:
+    """Append :meth:`MetricsRegistry.collect` snapshots to an NDJSON file.
+
+    The sampler is clock-agnostic: callers pass each tick's timestamp to
+    :meth:`sample` (the serve loop passes wall milliseconds since start,
+    the fleet observer passes virtual milliseconds).  Lines are written
+    append-only and flushed per sample, so a crashed process keeps every
+    tick it took.
+    """
+
+    def __init__(self, registry: MetricsRegistry, path):
+        self.registry = registry
+        self.path = Path(path)
+        self.samples_taken = 0
+        # Truncate: one file describes one run, like a Chrome trace.
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+
+    def sample(self, t_ms: float) -> dict:
+        """Take one snapshot at ``t_ms``, append it, and return the record."""
+        record = {
+            "t_ms": round(float(t_ms), 6),
+            "seq": self.samples_taken,
+            "metrics": [s.to_json() for s in self.registry.collect()],
+        }
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        self.samples_taken += 1
+        return record
+
+
+def read_samples(path) -> list[dict]:
+    """Load and validate every sample record of one NDJSON file."""
+    records: list[dict] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ObsError(f"{path}:{lineno}: bad JSON: {err}") from err
+        records.append(validate_sample_line(record))
+    return records

@@ -171,6 +171,12 @@ class PlanCache:
         if len(self._lru) > self.capacity:
             self._lru.popitem(last=False)
 
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def clear(self) -> None:
         """Drop every cached plan and reset the hit/miss counters."""
         self._lru.clear()

@@ -37,7 +37,9 @@ from repro.service.service import (
     default_service,
     submit,
 )
+from repro.service.metrics import ServiceInstrumentation, instrument
 from repro.service.server import (
+    request_op,
     request_sort,
     serve_forever,
     sort_over_socket,
@@ -54,5 +56,8 @@ __all__ = [
     "start_server",
     "serve_forever",
     "request_sort",
+    "request_op",
     "sort_over_socket",
+    "ServiceInstrumentation",
+    "instrument",
 ]

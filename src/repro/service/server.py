@@ -10,7 +10,12 @@ Request lines
     the service default, normally the planner), and ``"id"`` (an opaque
     tag echoed back, for matching pipelined responses).  Control lines:
     ``{"op": "stats"}`` returns the running :class:`ServiceStats` fields,
-    ``{"op": "ping"}`` returns ``{"ok": true}``.  When the server was
+    ``{"op": "ping"}`` returns ``{"ok": true}``, ``{"op": "metrics"}``
+    returns the Prometheus-style text exposition of the attached
+    :class:`~repro.service.metrics.ServiceInstrumentation` registry, and
+    ``{"op": "trace"}`` its recorded spans as Chrome trace-event JSON
+    (both error when the service carries no instrumentation).  When the
+    server was
     started with a :class:`repro.store.SortedStore` attached
     (``python -m repro serve --store DIR``), ``{"op": "store", "action":
     ...}`` lines reach it: ``"insert"`` (with ``"keys"``) persists a
@@ -41,7 +46,8 @@ back **in completion order**, so pipelining clients should tag requests
 with ``"id"``.
 
 :func:`request_sort` / :func:`sort_over_socket` are the matching client
-helpers used by the tests and the cookbook.
+helpers used by the tests and the cookbook; :func:`request_op` sends one
+control line (``python -m repro metrics`` scrapes through it).
 """
 
 from __future__ import annotations
@@ -60,6 +66,7 @@ __all__ = [
     "start_server",
     "serve_forever",
     "request_sort",
+    "request_op",
     "sort_over_socket",
 ]
 
@@ -224,20 +231,21 @@ async def _serve_line(service: SortService, message: dict, store=None) -> dict:
             response["id"] = tag
             return response
         if message.get("op") == "stats":
-            stats = service.stats
-            return {
-                "id": tag,
-                "submitted": stats.submitted,
-                "completed": stats.completed,
-                "rejected": stats.rejected,
-                "failed": stats.failed,
-                "batches": stats.batches,
-                "mean_batch": stats.mean_batch,
-                "largest_batch": stats.largest_batch,
-                "service_makespan_ms": stats.service_makespan_ms,
-                "serialized_ms": stats.serialized_ms,
-                "modeled_speedup": stats.modeled_speedup,
-            }
+            response = service.stats.snapshot().to_json()
+            response["id"] = tag
+            return response
+        if message.get("op") == "metrics":
+            if service.observer is None:
+                raise ReproError(
+                    "no metrics attached (start the server with --metrics)"
+                )
+            return {"id": tag, "metrics": service.observer.registry.expose()}
+        if message.get("op") == "trace":
+            if service.observer is None:
+                raise ReproError(
+                    "no metrics attached (start the server with --metrics)"
+                )
+            return {"id": tag, "trace": service.observer.spans.to_chrome()}
         request, engine = _parse_request(message, service.config)
         result = await service.submit(request, engine=engine)
         return {
@@ -342,6 +350,9 @@ async def serve_forever(
     on_ready=None,
     service: SortService | None = None,
     store=None,
+    metrics_out=None,
+    trace_out=None,
+    sample_every_s: float = 1.0,
 ) -> "SortService":
     """Run a service-backed NDJSON server until cancelled (or ``limit``).
 
@@ -354,7 +365,13 @@ async def serve_forever(
     ``on_ready(port)`` is called once the socket is bound (the CLI prints
     the listening line from it).  ``store`` attaches a
     :class:`repro.store.SortedStore` for ``{"op": "store"}`` lines.
-    Returns the (closed) service so callers can inspect its final stats.
+
+    When the service carries instrumentation (``service.observer``, see
+    :func:`repro.service.metrics.instrument`), ``metrics_out`` appends a
+    metrics-NDJSON sample every ``sample_every_s`` seconds (plus a final
+    one at shutdown) and ``trace_out`` saves the span ring as Chrome
+    trace JSON at shutdown.  Returns the (closed) service so callers can
+    inspect its final stats.
     """
     if service is None:
         service = SortService(config)
@@ -363,6 +380,19 @@ async def serve_forever(
     server = await start_server(
         service, host, port, limit=limit, done=stop, store=store
     )
+    sampler = None
+    sampler_task = None
+    if metrics_out is not None and service.observer is not None:
+        from repro.obs.sampler import MetricsSampler
+
+        sampler = MetricsSampler(service.observer.registry, metrics_out)
+
+        async def sample_loop() -> None:
+            while True:
+                await asyncio.sleep(sample_every_s)
+                sampler.sample(service.observer.now_ms())
+
+        sampler_task = asyncio.create_task(sample_loop())
     try:
         bound = server.sockets[0].getsockname()[1]
         if on_ready is not None:
@@ -372,9 +402,15 @@ async def serve_forever(
         else:
             await stop.wait()
     finally:
+        if sampler_task is not None:
+            sampler_task.cancel()
         server.close()
         await server.wait_closed()
         await service.close()
+        if sampler is not None:
+            sampler.sample(service.observer.now_ms())
+        if trace_out is not None and service.observer is not None:
+            service.observer.spans.save(trace_out)
     return service
 
 
@@ -409,3 +445,23 @@ async def request_sort(
 def sort_over_socket(host: str, port: int, keys, *, engine: str | None = None) -> dict:
     """Synchronous convenience wrapper over :func:`request_sort`."""
     return asyncio.run(request_sort(host, port, keys, engine=engine))
+
+
+async def request_op(host: str, port: int, op: str, **fields) -> dict:
+    """One control-line round trip: send ``{"op": op, **fields}``.
+
+    The client side of ``{"op": "stats"/"metrics"/"trace"/...}`` lines;
+    ``python -m repro metrics`` scrapes a live server through it.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((json.dumps({"op": op, **fields}) + "\n").encode())
+        await writer.drain()
+        line = await reader.readline()
+        return json.loads(line.decode())
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

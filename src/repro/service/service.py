@@ -117,6 +117,13 @@ class ServiceStats:
     telemetry: SortTelemetry = field(
         default_factory=lambda: SortTelemetry(requests=0)
     )
+    #: Wall-clock epoch seconds when this record (the service) started.
+    started_unix: float = field(default_factory=time.time)
+    #: Monotonic reference for :meth:`live_uptime_s` (never jumps back).
+    started_monotonic: float = field(default_factory=time.monotonic)
+    #: Uptime frozen by :meth:`snapshot` (0.0 on the live record; read
+    #: the live value through :meth:`live_uptime_s`).
+    uptime_s: float = 0.0
 
     @property
     def mean_batch(self) -> float:
@@ -152,7 +159,44 @@ class ServiceStats:
         ``telemetry``, which would otherwise keep accumulating under the
         caller's feet.
         """
-        return replace(self, telemetry=replace(self.telemetry))
+        return replace(
+            self,
+            telemetry=replace(self.telemetry),
+            uptime_s=self.live_uptime_s(),
+        )
+
+    def live_uptime_s(self) -> float:
+        """Seconds since the service started, on the monotonic clock.
+
+        On a :meth:`snapshot` copy the frozen :attr:`uptime_s` is
+        returned instead, so a snapshot keeps describing the instant it
+        was taken.
+        """
+        if self.uptime_s:
+            return self.uptime_s
+        return time.monotonic() - self.started_monotonic
+
+    def to_json(self) -> dict:
+        """Counters, derived ratios, and the start/uptime stamps.
+
+        The payload the socket ``{"op": "stats"}`` line returns; uptime
+        is what turns the counters into rates (requests per second =
+        ``submitted / uptime_s``).
+        """
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "batches": self.batches,
+            "mean_batch": self.mean_batch,
+            "largest_batch": self.largest_batch,
+            "service_makespan_ms": self.service_makespan_ms,
+            "serialized_ms": self.serialized_ms,
+            "modeled_speedup": self.modeled_speedup,
+            "started_unix": self.started_unix,
+            "uptime_s": self.live_uptime_s(),
+        }
 
 
 class SortService:
@@ -177,6 +221,9 @@ class SortService:
             raise ServiceError("pass a ServiceConfig or field overrides, not both")
         self.config = config or ServiceConfig(**overrides)
         self.stats = ServiceStats()
+        #: Optional :class:`repro.service.metrics.ServiceInstrumentation`
+        #: (attach with :func:`repro.service.metrics.instrument`).
+        self.observer = None
         self._started = False
         self._closing = False
         self._pending = 0
@@ -510,6 +557,10 @@ class SortService:
                 ) * 1e3
                 result.telemetry.coalesce_ms = ticket.coalesce_ms
                 ticket.result = result
+                if self.observer is not None:
+                    self.observer.on_execute(
+                        index, (time.perf_counter() - started) * 1e3, ticket
+                    )
             except BaseException as err:  # resolve the future either way
                 ticket.error = err
             finally:
@@ -538,6 +589,8 @@ class SortService:
                 result.telemetry.service_makespan_ms = schedule.makespan_ms
                 self.stats.telemetry.add(result.telemetry)
                 self.stats.completed += 1
+            if self.observer is not None:
+                self.observer.on_batch(done, schedule)
         for ticket in batch.tickets:
             self._pending -= 1
             if ticket.future.done():

@@ -493,6 +493,74 @@ class SortedStore:
         with self._lock:
             return len(self.manifest.runs)
 
+    def bind_metrics(self, registry) -> None:
+        """Register callback-backed store metrics on ``registry``.
+
+        Every instrument reads :attr:`stats` at collection time (a
+        :class:`repro.obs.metrics.MetricsRegistry` scrape), so the store
+        pays nothing on its own hot paths and an exposition always agrees
+        with a simultaneously-taken stats snapshot.
+        """
+        def g(field_name):
+            return lambda: getattr(self.stats, field_name)
+
+        registry.gauge(
+            "repro_store_runs", "Live runs in the manifest", fn=g("runs")
+        )
+        registry.gauge(
+            "repro_store_levels", "Occupied size-tier levels", fn=g("levels")
+        )
+        registry.gauge(
+            "repro_store_live_pairs", "Live (key, id) pairs",
+            fn=g("live_pairs"),
+        )
+        registry.counter(
+            "repro_store_ingested_pairs_total", "Pairs ingested",
+            fn=g("ingested_pairs"),
+        )
+        registry.counter(
+            "repro_store_queries_total", "Range/top-k queries served",
+            fn=g("queries"),
+        )
+        registry.counter(
+            "repro_store_run_cache_hits_total", "Run-file cache hits",
+            fn=g("cache_hits"),
+        )
+        registry.counter(
+            "repro_store_run_cache_misses_total", "Run-file cache misses",
+            fn=g("cache_misses"),
+        )
+        registry.counter(
+            "repro_store_compactions_total", "Compactions executed",
+            fn=g("compactions"),
+        )
+        registry.counter(
+            "repro_store_compaction_passes_total",
+            "Multi-pass merge passes across all compactions",
+            fn=g("compaction_passes"),
+        )
+        registry.counter(
+            "repro_store_bytes_read_total", "Modeled disk bytes read",
+            fn=g("bytes_read"),
+        )
+        registry.counter(
+            "repro_store_bytes_written_total", "Modeled disk bytes written",
+            fn=g("bytes_written"),
+        )
+        registry.counter(
+            "repro_store_seeks_total", "Modeled disk seeks", fn=g("seeks")
+        )
+        registry.gauge(
+            "repro_store_write_amplification",
+            "Bytes written over bytes ingested (1.0 = no rewrites)",
+            fn=g("write_amplification"),
+        )
+        registry.gauge(
+            "repro_store_read_amplification",
+            "Query bytes read over bytes returned",
+            fn=g("read_amplification"),
+        )
+
     def __len__(self) -> int:
         with self._lock:
             return self.manifest.live_pairs

@@ -1,0 +1,91 @@
+"""The metrics-NDJSON sampler and its schema contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSampler,
+    read_samples,
+    validate_sample_line,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_ticks_total", "Ticks").inc(3)
+    reg.histogram("repro_lat_ms", "Latency", buckets=(1.0, 10.0)).observe(0.5)
+    return reg
+
+
+class TestSampler:
+    def test_samples_append_and_read_back(self, registry, tmp_path):
+        path = tmp_path / "m.ndjson"
+        sampler = MetricsSampler(registry, path)
+        sampler.sample(100.0)
+        sampler.sample(200.0)
+        records = read_samples(path)
+        assert [r["seq"] for r in records] == [0, 1]
+        assert [r["t_ms"] for r in records] == [100.0, 200.0]
+        names = {m["name"] for m in records[0]["metrics"]}
+        assert "repro_ticks_total" in names
+        assert "repro_lat_ms_bucket" in names  # histogram series flatten too
+
+    def test_init_truncates_previous_run(self, registry, tmp_path):
+        path = tmp_path / "m.ndjson"
+        MetricsSampler(registry, path).sample(1.0)
+        sampler = MetricsSampler(registry, path)  # new run, same file
+        sampler.sample(2.0)
+        records = read_samples(path)
+        assert len(records) == 1 and records[0]["seq"] == 0
+
+    def test_every_persisted_line_passes_the_schema_check(
+        self, registry, tmp_path
+    ):
+        path = tmp_path / "m.ndjson"
+        sampler = MetricsSampler(registry, path)
+        for t in (10.0, 20.0, 30.0):
+            sampler.sample(t)
+        for line in path.read_text().splitlines():
+            validate_sample_line(json.loads(line))
+
+
+class TestSchema:
+    def test_valid_record_is_returned(self):
+        record = {
+            "t_ms": 1.5,
+            "seq": 0,
+            "metrics": [{"name": "x", "labels": {"a": "b"}, "value": 2}],
+        }
+        assert validate_sample_line(record) is record
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            [],
+            {"seq": 0, "metrics": []},
+            {"t_ms": "soon", "seq": 0, "metrics": []},
+            {"t_ms": 0.0, "seq": -1, "metrics": []},
+            {"t_ms": 0.0, "seq": True, "metrics": []},
+            {"t_ms": 0.0, "seq": 0},
+            {"t_ms": 0.0, "seq": 0, "metrics": [1]},
+            {"t_ms": 0.0, "seq": 0, "metrics": [{"labels": {}, "value": 1}]},
+            {"t_ms": 0.0, "seq": 0, "metrics": [{"name": "", "labels": {}, "value": 1}]},
+            {"t_ms": 0.0, "seq": 0, "metrics": [{"name": "x", "labels": {"a": 1}, "value": 1}]},
+            {"t_ms": 0.0, "seq": 0, "metrics": [{"name": "x", "labels": {}, "value": "2"}]},
+        ],
+    )
+    def test_malformed_records_raise(self, record):
+        with pytest.raises(ObsError):
+            validate_sample_line(record)
+
+    def test_read_samples_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"t_ms": 0.0, "seq": 0, "metrics": []}\nnot json\n')
+        with pytest.raises(ObsError):
+            read_samples(path)

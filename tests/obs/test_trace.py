@@ -1,0 +1,72 @@
+"""Span recording and the Chrome trace-event export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import Span, SpanRecorder
+
+
+class TestSpanRecorder:
+    def test_record_keeps_insertion_order_and_args(self):
+        rec = SpanRecorder()
+        rec.record("req0", "queue", 1.0, 2.0, pid="requests", tid="req0")
+        rec.record("batch0", "batch", 0.0, 5.0, size=3, engine="abisort")
+        spans = rec.spans()
+        assert [s.name for s in spans] == ["req0", "batch0"]
+        assert dict(spans[1].args) == {"size": 3, "engine": "abisort"}
+
+    def test_ring_drops_oldest_beyond_capacity(self):
+        rec = SpanRecorder(capacity=3)
+        for i in range(5):
+            rec.record(f"s{i}", "sort", float(i), 1.0)
+        assert len(rec) == 3
+        assert [s.name for s in rec.spans()] == ["s2", "s3", "s4"]
+
+    def test_disabled_recorder_is_a_no_op(self):
+        rec = SpanRecorder(enabled=False)
+        rec.record("s", "sort", 0.0, 1.0)
+        rec.add(Span("s", "sort", 0.0, 1.0))
+        assert len(rec) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObsError):
+            SpanRecorder(capacity=0)
+
+    def test_clear(self):
+        rec = SpanRecorder()
+        rec.record("s", "sort", 0.0, 1.0)
+        rec.clear()
+        assert rec.spans() == []
+
+
+class TestChromeExport:
+    def test_complete_event_shape_scales_ms_to_us(self):
+        span = Span(
+            "batch0/req1", "upload", 2.5, 0.25,
+            pid="devices", tid="dev0", args=(("bytes", 1024),),
+        )
+        event = span.to_chrome()
+        assert event == {
+            "name": "batch0/req1",
+            "cat": "upload",
+            "ph": "X",
+            "ts": 2500.0,
+            "dur": 250.0,
+            "pid": "devices",
+            "tid": "dev0",
+            "args": {"bytes": 1024},
+        }
+
+    def test_to_chrome_and_save_round_trip(self, tmp_path):
+        rec = SpanRecorder()
+        rec.record("a", "sort", 0.0, 1.0)
+        rec.record("b", "merge", 1.0, 2.0, pid="host")
+        doc = rec.to_chrome()
+        assert doc["displayTimeUnit"] == "ms"
+        assert [e["name"] for e in doc["traceEvents"]] == ["a", "b"]
+        path = rec.save(tmp_path / "trace.json")
+        assert json.loads(path.read_text()) == doc

@@ -71,6 +71,47 @@ class TestCLI:
         assert "FAIL" not in out
         assert "12/12 checks passed" in out
 
+    def test_report_health_command(self, capsys, tmp_path):
+        out_html = tmp_path / "health.html"
+        assert main(["report", "health", "--scenario", "burst",
+                     "--out", str(out_html)]) == 0
+        out = capsys.readouterr().out
+        assert "pool health: trace 'burst'" in out
+        assert "utilization" in out and "slot0" in out
+        assert "fairness (Jain over mean slowdown)" in out
+        assert out_html.read_text().startswith("<!DOCTYPE html>")
+
+    def test_report_health_json(self, capsys):
+        import json
+
+        assert main(["report", "health", "--scenario", "burst",
+                     "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["trace"] == "burst"
+        assert record["pool"]["devices"]
+        assert "notes" in record
+
+    def test_metrics_command_summarizes_ndjson(self, capsys, tmp_path):
+        samples = tmp_path / "m.ndjson"
+        assert main(["fleet", "replay", "--scenario", "burst",
+                     "--metrics-out", str(samples)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "--samples", str(samples)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics at t=" in out
+        assert "repro_fleet_completed_total" in out
+
+    def test_fleet_replay_trace_out(self, capsys, tmp_path):
+        import json
+
+        trace_out = tmp_path / "trace.json"
+        assert main(["fleet", "replay", "--scenario", "burst",
+                     "--trace-out", str(trace_out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(trace_out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(e["cat"] == "run" for e in doc["traceEvents"])
+
     def test_backends_command(self, capsys):
         assert main(["backends"]) == 0
         out = capsys.readouterr().out

@@ -34,6 +34,7 @@ def test_docs_exist():
         "service.md",
         "store.md",
         "fleet.md",
+        "observability.md",
         "cookbook.md",
     } <= names
 
